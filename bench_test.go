@@ -1,0 +1,208 @@
+package netkernel
+
+// Benchmarks regenerating the paper's evaluation, one target per table
+// and figure (DESIGN.md §4 maps them). The virtual-time experiments
+// report their headline numbers as custom metrics (Gbit/s, Mbit/s);
+// the wall-clock microbenchmarks report real ns/op on this host.
+//
+// Full-size paper-format runs: cmd/nkbench. Reference results:
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/experiments"
+	"netkernel/internal/nkqueue"
+	"netkernel/internal/nqe"
+	"netkernel/internal/shm"
+)
+
+// --- Table 1: memory-copy latency (wall clock) ---
+
+func benchCopy(b *testing.B, size int) {
+	pages, err := shm.NewHugePages(1, 8<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var chunks []shm.Chunk
+	for i := 0; i < 64; i++ {
+		c, ok := pages.Alloc()
+		if !ok {
+			break
+		}
+		chunks = append(chunks, c)
+	}
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	b.SetBytes(int64(2 * size)) // one write + one read per op
+	b.ResetTimer()
+	idx := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		idx = idx*6364136223846793005 + 1442695040888963407
+		c := chunks[idx%uint64(len(chunks))]
+		pages.Write(c, src)
+		pages.Read(c, dst, size)
+	}
+}
+
+func BenchmarkTable1Copy64B(b *testing.B)  { benchCopy(b, 64) }
+func BenchmarkTable1Copy512B(b *testing.B) { benchCopy(b, 512) }
+func BenchmarkTable1Copy1KB(b *testing.B)  { benchCopy(b, 1<<10) }
+func BenchmarkTable1Copy2KB(b *testing.B)  { benchCopy(b, 2<<10) }
+func BenchmarkTable1Copy4KB(b *testing.B)  { benchCopy(b, 4<<10) }
+func BenchmarkTable1Copy8KB(b *testing.B)  { benchCopy(b, 8<<10) }
+
+// --- §4.2: nqe copy cost (paper: ~12 ns per event) ---
+
+func BenchmarkNqeCopy(b *testing.B) {
+	src, _ := nkqueue.NewQueue(nkqueue.Config{Slots: 2})
+	dst, _ := nkqueue.NewQueue(nkqueue.Config{Slots: 2})
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: 1, FD: 3, DataLen: 1448}
+	var out nqe.Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Push(&e)
+		nkqueue.Move(dst, src) // the measured CoreEngine copy
+		dst.Pop(&out)
+	}
+}
+
+// --- §4.2: GuestLib↔ServiceLib channel throughput per core ---
+
+func benchShmChannel(b *testing.B, size int) {
+	pages, _ := shm.NewHugePages(4, 8<<10)
+	ring, _ := shm.NewRing(1024, nqe.Size)
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	slot := make([]byte, nqe.Size)
+	var e, out nqe.Element
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk, ok := pages.Alloc()
+		if !ok {
+			b.Fatal("pages exhausted")
+		}
+		pages.Write(chunk, src)
+		e = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, DataOff: chunk.Offset, DataLen: uint32(size)}
+		e.Encode(slot)
+		ring.Enqueue(slot)
+		ring.Dequeue(slot)
+		out.Decode(slot)
+		c := shm.Chunk{Offset: out.DataOff}
+		pages.Read(c, dst, int(out.DataLen))
+		pages.Free(c)
+	}
+}
+
+func BenchmarkShmChannel64B(b *testing.B) { benchShmChannel(b, 64) }
+func BenchmarkShmChannel8KB(b *testing.B) { benchShmChannel(b, 8<<10) }
+
+// --- Figure 4: CUBIC native vs CUBIC NSM on 40 GbE (virtual time) ---
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFigure4(experiments.Figure4Config{
+			Warmup: 200 * time.Millisecond,
+			Window: 100 * time.Millisecond,
+		})
+		for _, r := range rows {
+			b.ReportMetric(r.NativeBps/1e9, "native-"+itoa(r.Flows)+"flow-Gbps")
+			b.ReportMetric(r.NSMBps/1e9, "nsm-"+itoa(r.Flows)+"flow-Gbps")
+		}
+	}
+}
+
+// --- Figure 5: the WAN flexibility experiment (virtual time) ---
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFigure5(experiments.Figure5Config{})
+		for _, r := range rows {
+			b.ReportMetric(r.Mbps, metricName(r.Scenario)+"-Mbps")
+		}
+	}
+}
+
+// --- §5 ablations ---
+
+func BenchmarkNotifyModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunNotifyAblation()
+		for _, r := range rows {
+			b.ReportMetric(float64(r.ConnectRTT.Nanoseconds())/1e3, r.Mode+"-connect-us")
+		}
+	}
+}
+
+func BenchmarkPriorityQueues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunPriorityAblation()
+		for _, r := range rows {
+			name := "single-queue"
+			if r.Priority {
+				name = "priority-queues"
+			}
+			b.ReportMetric(float64(r.ConnectLatency.Microseconds()), name+"-connect-us")
+		}
+	}
+}
+
+func BenchmarkNSMForms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFormAblation()
+		for _, r := range rows {
+			b.ReportMetric(float64(r.ConnectRTT.Microseconds()), r.Form.String()+"-connect-us")
+		}
+	}
+}
+
+func BenchmarkMultiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunMuxAblation()
+		for _, r := range rows {
+			b.ReportMetric(r.AggregateBps/1e9, metricName(r.Strategy)+"-aggregate-Gbps")
+			b.ReportMetric(float64(r.MemoryMB), metricName(r.Strategy)+"-MB")
+		}
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunScaleOutAblation()
+		for _, r := range rows {
+			b.ReportMetric(r.AggregateBps/1e9, itoa(r.Replicas)+"replica-Gbps")
+		}
+	}
+}
+
+func BenchmarkSyncVsAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunSyncAblation()
+		for _, r := range rows {
+			name := "async"
+			if r.Mode[:4] == "sync" {
+				name = "sync"
+			}
+			b.ReportMetric(r.ThroughputBps/1e9, name+"-Gbps")
+		}
+	}
+}
+
+// --- helpers ---
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ', r == '+':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,183 @@
+// Command nkctl boots a demonstration NetKernel cloud and reports on
+// it like an operator console: inventory, live traffic, the pingmesh
+// health matrix, per-tenant SLA compliance, and the §5 pricing models
+// applied to metered usage.
+//
+// Usage:
+//
+//	nkctl [-tenants N] [-duration D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"netkernel"
+	"netkernel/internal/mgmt"
+	"netkernel/internal/pricing"
+)
+
+var (
+	tenants  = flag.Int("tenants", 3, "tenant VMs to provision")
+	duration = flag.Duration("duration", 2*time.Second, "simulated runtime")
+)
+
+func main() {
+	flag.Parse()
+
+	fmt.Println("nkctl: booting a two-host NetKernel cloud")
+	c := netkernel.NewCluster(netkernel.ClusterConfig{Seed: 42, PerPacketCost: 470 * time.Nanosecond})
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	c.ConnectHosts(h1, h2, netkernel.Testbed40G())
+
+	// A server VM on host2 for the tenants to talk to.
+	server, err := h2.CreateVM(netkernel.VMConfig{
+		Name: "server", IP: netkernel.IP("10.0.2.1"), Mode: netkernel.ModeNetKernel,
+		NSM: netkernel.NSMSpec{Form: netkernel.FormModule, CC: "cubic"},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Tenants on host1, multiplexed onto one shared CUBIC NSM with
+	// per-tenant rate SLAs.
+	ccs := []string{"cubic", "bbr", "dctcp", "reno", "ctcp"}
+	var vms []*netkernel.VM
+	var shared *netkernel.NSM
+	for i := 0; i < *tenants; i++ {
+		spec := netkernel.NSMSpec{
+			Form:         netkernel.FormContainer,
+			CC:           ccs[i%len(ccs)],
+			RateLimitBps: float64(2-i%2) * 1e9, // alternate 2 and 1 Gbit/s SLAs
+		}
+		if shared != nil && i%2 == 1 {
+			spec.ShareWith = shared // odd tenants share the first NSM
+		}
+		// A dedicated NSM carries its own network identity; tenants
+		// multiplexed onto a shared NSM share its address.
+		ip := netkernel.Addr{10, 0, 1, byte(1 + i)}
+		if spec.ShareWith != nil {
+			ip = shared.Stack.Interface().IP
+		}
+		vm, err := h1.CreateVM(netkernel.VMConfig{
+			Name: fmt.Sprintf("tenant%d", i), IP: ip,
+			Mode: netkernel.ModeNetKernel, NSM: spec,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if shared == nil {
+			shared = vm.NSM
+		}
+		vms = append(vms, vm)
+	}
+	c.Run(500 * time.Millisecond) // boots
+
+	fmt.Printf("\ninventory: host1 %d VMs / %d NSMs, host2 %d VMs / %d NSMs\n",
+		h1.VMs(), h1.NSMs(), h2.VMs(), h2.NSMs())
+	h1.EachNSM(func(n *netkernel.NSM) {
+		fmt.Printf("  nsm%-3d form=%-9s cc=%-6s tenants=%d mem=%dMB isolation=%s\n",
+			n.ID, n.Form, n.CC, n.Tenants(), n.Profile.MemoryMB, n.Profile.Isolation)
+	})
+
+	// Meters, SLAs, and an echo-sink server.
+	meters := startTraffic(c, server, vms)
+
+	// Pingmesh across the provider-controlled stacks.
+	mesh := mgmt.NewMesh(mgmt.MeshConfig{
+		Clock: c.Clock(), Interval: 200 * time.Millisecond, Timeout: 100 * time.Millisecond,
+	}, []mgmt.MeshNode{
+		{Name: "host1/nsm", Stack: vms[0].NSM.Stack, IP: vms[0].IP},
+		{Name: "host2/nsm", Stack: server.NSM.Stack, IP: server.IP},
+	})
+	mesh.Start()
+
+	c.Run(*duration)
+	mesh.Stop()
+
+	fmt.Println("\npingmesh health matrix:")
+	for _, r := range mesh.Report() {
+		status := "up"
+		if r.Down {
+			status = "DOWN"
+		}
+		fmt.Printf("  %-12s → %-12s %-5s probes=%d lost=%d p50=%v p99=%v\n",
+			r.From, r.To, status, r.Sent, r.Lost, r.RTTp50, r.RTTp99)
+	}
+
+	fmt.Println("\nper-tenant usage and invoices:")
+	models := pricing.DefaultModels()
+	for i, m := range meters {
+		u := m.Snapshot()
+		fmt.Printf("  tenant%d: %.1f MB out, %v CPU busy, %d peak conns\n",
+			i, float64(u.BytesOut)/1e6, u.CPUBusy.Round(time.Microsecond), u.PeakConns)
+		for _, line := range pricing.Invoice(u, models...) {
+			fmt.Printf("    %-14s %v\n", line.Model, line.Amount)
+		}
+	}
+	fmt.Printf("\nsimulated %v in %s of wall time\n", c.Now(), "(instantaneous)")
+}
+
+// startTraffic wires an echo sink on the server and a bulk sender per
+// tenant, returning a pricing meter per tenant.
+func startTraffic(c *netkernel.Cluster, server *netkernel.VM, vms []*netkernel.VM) []*pricing.Meter {
+	srv := server.Guest
+	lfd := srv.Socket(netkernel.Callbacks{})
+	srv.SetCallbacks(lfd, netkernel.Callbacks{OnAcceptable: func() {
+		for {
+			fd, ok := srv.Accept(lfd)
+			if !ok {
+				return
+			}
+			buf := make([]byte, 256<<10)
+			srv.SetCallbacks(fd, netkernel.Callbacks{OnReadable: func() {
+				for {
+					n, _ := srv.Recv(fd, buf)
+					if n == 0 {
+						return
+					}
+				}
+			}})
+		}
+	}})
+	if err := srv.Listen(lfd, 9000, 64); err != nil {
+		panic(err)
+	}
+
+	var meters []*pricing.Meter
+	payload := make([]byte, 64<<10)
+	for i, vm := range vms {
+		g := vm.Guest
+		var fd int32
+		pump := func() {
+			for g.Send(fd, payload) > 0 {
+			}
+		}
+		fd = g.Socket(netkernel.Callbacks{
+			OnEstablished: func(err error) {
+				if err == nil {
+					pump()
+				}
+			},
+			OnWritable: pump,
+		})
+		if err := g.Connect(fd, server.IP, 9000); err != nil {
+			panic(err)
+		}
+
+		svc := vm.Service
+		_ = i
+		nsm := vm.NSM
+		m := pricing.NewMeter(c.Clock(), nsm.Form.String(), nsm.CPU.Cores(), nsm.Profile.MemoryMB,
+			2e9,
+			func() time.Duration { return nsm.CPU.TotalBusy() },
+			func() (uint64, uint64) { st := svc.Stats(); return st.DataIn, st.DataOut },
+			func() int { return nsm.Stack.ConnCount() },
+		)
+		m.StartSampling(100 * time.Millisecond)
+		meters = append(meters, m)
+	}
+	return meters
+}

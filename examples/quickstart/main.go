@@ -1,0 +1,101 @@
+// Quickstart: the smallest complete NetKernel session.
+//
+// Two hosts joined by 40 GbE; each runs one tenant VM in NetKernel
+// mode, so the VMs' network stacks live in provider-side Network Stack
+// Modules. The client sends a request, the server echoes it back, and
+// the program prints what happened and through which stack.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"netkernel"
+)
+
+func main() {
+	// A deterministic two-host cluster (the paper's testbed, §4.1).
+	c := netkernel.NewCluster(netkernel.ClusterConfig{Seed: 1})
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	c.ConnectHosts(h1, h2, netkernel.Testbed40G())
+
+	// The server VM: its network stack is a CUBIC NSM on host2.
+	server, err := h2.CreateVM(netkernel.VMConfig{
+		Name: "server", IP: netkernel.IP("10.0.2.1"),
+		Mode: netkernel.ModeNetKernel,
+		NSM:  netkernel.NSMSpec{Form: netkernel.FormVM, CC: "cubic"},
+	})
+	must(err)
+
+	// The client VM: a Windows guest whose traffic runs BBR, because
+	// its NSM does — the paper's headline flexibility claim (§4.3).
+	client, err := h1.CreateVM(netkernel.VMConfig{
+		Name: "client", IP: netkernel.IP("10.0.1.1"),
+		Profile: netkernel.ProfileWindows,
+		Mode:    netkernel.ModeNetKernel,
+		NSM:     netkernel.NSMSpec{Form: netkernel.FormVM, CC: "bbr"},
+	})
+	must(err)
+
+	// NSM VMs take a few seconds to boot (virtual time is free).
+	c.Run(4 * time.Second)
+
+	// Server: accept and echo. The API is the classic socket surface —
+	// socket/listen/accept/send/recv — delivered by GuestLib (§3.1
+	// keeps "the application interfaces in the guest … intact").
+	srv := server.Guest
+	lfd := srv.Socket(netkernel.Callbacks{})
+	srv.SetCallbacks(lfd, netkernel.Callbacks{OnAcceptable: func() {
+		fd, ok := srv.Accept(lfd)
+		if !ok {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		srv.SetCallbacks(fd, netkernel.Callbacks{OnReadable: func() {
+			for {
+				n, _ := srv.Recv(fd, buf)
+				if n == 0 {
+					return
+				}
+				srv.Send(fd, buf[:n])
+			}
+		}})
+	}})
+	must(srv.Listen(lfd, 7, 16))
+
+	// Client: connect, send, print the echo.
+	cli := client.Guest
+	var reply []byte
+	fd := cli.Socket(netkernel.Callbacks{})
+	cli.SetCallbacks(fd, netkernel.Callbacks{
+		OnEstablished: func(err error) {
+			must(err)
+			fmt.Println("client: connected through the BBR NSM")
+			cli.Send(fd, []byte("hello, network stack as a service"))
+		},
+		OnReadable: func() {
+			buf := make([]byte, 64<<10)
+			n, _ := cli.Recv(fd, buf)
+			reply = append(reply, buf[:n]...)
+		},
+	})
+	must(cli.Connect(fd, server.IP, 7))
+
+	c.Run(time.Second)
+
+	fmt.Printf("client: echo reply %q\n", reply)
+	client.NSM.Stack.Conns(func(conn *netkernel.Conn) {
+		fmt.Printf("provider: tenant %q (guest profile %s) ran %s, srtt %v\n",
+			client.Name, client.Profile, conn.CongestionControl().Name(), conn.Stats().SRTT)
+	})
+	fmt.Printf("simulated %v of cluster time\n", c.Now())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

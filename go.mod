@@ -1,0 +1,3 @@
+module netkernel
+
+go 1.22

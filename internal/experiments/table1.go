@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"netkernel/internal/nkqueue"
+	"netkernel/internal/nqe"
+	"netkernel/internal/shm"
+)
+
+// These microbenchmarks are wall-clock measurements on real memory —
+// the same quantity the paper measures on its Xeon E5-2618LV3 testbed.
+// Absolute numbers scale with the host CPU; the reproduced claims are
+// the shape (copy latency grows roughly linearly with chunk size and
+// stays under a microsecond at 8 KB) and the conclusion ("NetKernel is
+// unlikely to be the bottleneck in data transmission").
+
+// Table1Chunks are the paper's chunk sizes.
+var Table1Chunks = []int{64, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10}
+
+// Table1Row is one column of Table 1: "Memory copying latency in
+// NetKernel" (paper: 64B 8ns, 512B 64ns, 1KB 117ns, 2KB 214ns, 4KB
+// 425ns, 8KB 809ns).
+type Table1Row struct {
+	ChunkBytes int
+	Latency    time.Duration
+}
+
+// RunTable1 measures huge-page copy latency with random-offset reads,
+// as §4.2 does ("the latency of memory copying between GuestLib and
+// ServiceLib with random address reads").
+func RunTable1(iters int) []Table1Row {
+	if iters <= 0 {
+		iters = 200000
+	}
+	pages, err := shm.NewHugePages(shm.DefaultPageCount, 8<<10)
+	if err != nil {
+		panic(err)
+	}
+	// Randomize offsets within one 2 MB huge page (cache-warm, like
+	// the paper's sub-10ns 64-byte figure implies); spanning the full
+	// 80 MB region instead measures DRAM latency, not copy cost.
+	chunks := make([]shm.Chunk, 0, shm.PageSize/(8<<10))
+	for cap(chunks) > len(chunks) {
+		c, ok := pages.Alloc()
+		if !ok {
+			break
+		}
+		chunks = append(chunks, c)
+	}
+	src := make([]byte, 8<<10)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	dst := make([]byte, 8<<10)
+
+	rows := make([]Table1Row, 0, len(Table1Chunks))
+	var sink byte
+	for _, size := range Table1Chunks {
+		// Warm the whole randomized set into cache.
+		for i := 0; i < 4*len(chunks); i++ {
+			pages.Write(chunks[i%len(chunks)], src)
+		}
+		idx := uint64(0x9e3779b97f4a7c15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			idx = idx*6364136223846793005 + 1442695040888963407
+			c := chunks[idx%uint64(len(chunks))]
+			pages.Write(c, src[:size])
+			pages.Read(c, dst[:size], size)
+			sink ^= dst[0]
+		}
+		elapsed := time.Since(start)
+		// Two copies (write + read) per iteration; the paper reports a
+		// single copy.
+		rows = append(rows, Table1Row{ChunkBytes: size, Latency: elapsed / time.Duration(2*iters)})
+	}
+	runtime.KeepAlive(sink)
+	return rows
+}
+
+// NqeCopyCost measures the CoreEngine's queue-to-queue element copy —
+// §4.2: "A nqe is copied between VM and NSM via CoreEngine. The cost
+// of this is ∼12ns per event."
+func NqeCopyCost(iters int) time.Duration {
+	if iters <= 0 {
+		iters = 1 << 20
+	}
+	src, err := nkqueue.NewQueue(nkqueue.Config{Slots: 2})
+	if err != nil {
+		panic(err)
+	}
+	dst, err := nkqueue.NewQueue(nkqueue.Config{Slots: 2})
+	if err != nil {
+		panic(err)
+	}
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: 1, FD: 3, Seq: 1, DataLen: 1448}
+	var scratch nqe.Element
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		src.Push(&e)
+		nkqueue.Move(dst, src)
+		dst.Pop(&scratch)
+	}
+	elapsed := time.Since(start)
+	// Push and Pop bracket the measured Move; calibrate them away.
+	calStart := time.Now()
+	for i := 0; i < iters; i++ {
+		src.Push(&e)
+		src.Pop(&scratch)
+	}
+	overhead := time.Since(calStart)
+	per := (elapsed - overhead) / time.Duration(iters)
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// ShmChannelRow is one point of the §4.2 channel-throughput
+// measurement: "NetKernel can achieve ∼64Gbps (64B) and ∼81Gbps (8KB)
+// between GuestLib and ServiceLib for each core."
+type ShmChannelRow struct {
+	ChunkBytes int
+	BitsPerSec float64
+}
+
+// RunShmChannel measures GuestLib↔ServiceLib data-channel throughput
+// for one core: data chunks copied into huge pages, descriptors pushed
+// through a ring, then copied back out on the consumer side — the full
+// §3.2 transport datapath without the TCP stack behind it.
+func RunShmChannel(chunks []int, duration time.Duration) []ShmChannelRow {
+	if len(chunks) == 0 {
+		chunks = []int{64, 8 << 10}
+	}
+	if duration <= 0 {
+		duration = 200 * time.Millisecond
+	}
+	rows := make([]ShmChannelRow, 0, len(chunks))
+	for _, size := range chunks {
+		rows = append(rows, ShmChannelRow{ChunkBytes: size, BitsPerSec: shmChannelRate(size, duration)})
+	}
+	return rows
+}
+
+func shmChannelRate(chunkSize int, duration time.Duration) float64 {
+	pages, err := shm.NewHugePages(4, 8<<10)
+	if err != nil {
+		panic(err)
+	}
+	ring, err := shm.NewRing(1024, nqe.Size)
+	if err != nil {
+		panic(err)
+	}
+	src := make([]byte, chunkSize)
+	dst := make([]byte, chunkSize)
+	var e, out nqe.Element
+	var moved uint64
+
+	deadline := time.Now().Add(duration)
+	slot := make([]byte, nqe.Size)
+	for time.Now().Before(deadline) {
+		// Batch to amortize the deadline check.
+		for b := 0; b < 256; b++ {
+			chunk, ok := pages.Alloc()
+			if !ok {
+				break
+			}
+			pages.Write(chunk, src)
+			e = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, DataOff: chunk.Offset, DataLen: uint32(chunkSize)}
+			e.Encode(slot)
+			if !ring.Enqueue(slot) {
+				pages.Free(chunk)
+				break
+			}
+			// Consumer side.
+			if ring.Dequeue(slot) {
+				out.Decode(slot)
+				c := shm.Chunk{Offset: out.DataOff}
+				pages.Read(c, dst, int(out.DataLen))
+				pages.Free(c)
+				moved += uint64(out.DataLen)
+			}
+		}
+	}
+	return float64(moved) * 8 / duration.Seconds()
+}

@@ -1,0 +1,663 @@
+// Package guestlib implements the guest half of NetKernel: the library
+// that replaces the in-guest network stack while preserving the socket
+// API (§3.1: "the network API methods are intercepted by a NetKernel
+// GuestLib in the guest kernel … the only change we make to the tenant
+// VM").
+//
+// Socket calls become nqes in the VM job queue; data travels through
+// the shared huge pages; completions and events (new data, new
+// connections, establishment) come back through the VM completion and
+// receive queues. The prototype interposes on glibc with LD_PRELOAD
+// (§4.1); here the application calls GuestLib directly, which is the
+// same boundary one layer down.
+package guestlib
+
+import (
+	"fmt"
+
+	"netkernel/internal/nkchan"
+	"netkernel/internal/nqe"
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/shm"
+	"netkernel/internal/sim"
+)
+
+func shmChunk(off uint64) shm.Chunk { return shm.Chunk{Offset: off} }
+
+// GuestProfile names the guest OS flavor. Its only behavioural content
+// is the default congestion control of the guest's *legacy* in-kernel
+// stack — exactly the distinction Figure 5 draws between a Windows
+// guest (C-TCP) and a Linux guest (CUBIC). A NetKernel guest's traffic
+// uses whatever the attached NSM runs, regardless of profile.
+type GuestProfile string
+
+// Guest profiles.
+const (
+	ProfileLinux   GuestProfile = "linux"   // in-kernel default: CUBIC
+	ProfileWindows GuestProfile = "windows" // in-kernel default: C-TCP
+	ProfileFreeBSD GuestProfile = "freebsd" // in-kernel default: Reno (NewReno)
+)
+
+// DefaultCC returns the profile's legacy in-kernel congestion control.
+func (p GuestProfile) DefaultCC() string {
+	switch p {
+	case ProfileWindows:
+		return "ctcp"
+	case ProfileFreeBSD:
+		return "reno"
+	default:
+		return "cubic"
+	}
+}
+
+// Callbacks are the application-facing event hooks for one socket —
+// the epoll-style notification surface of §3.2.
+type Callbacks struct {
+	// OnEstablished fires when a Connect completes (err nil) or fails.
+	OnEstablished func(err error)
+	// OnAcceptable fires when a listener has connections to Accept.
+	OnAcceptable func()
+	// OnReadable fires when data or EOF is available to Recv.
+	OnReadable func()
+	// OnWritable fires when Send capacity returns after a short write.
+	OnWritable func()
+	// OnClose fires when the connection terminates; err nil for clean.
+	OnClose func(err error)
+}
+
+// Config parameterizes a GuestLib.
+type Config struct {
+	Clock sim.Clock
+	VMID  uint32
+	// Pair is the channel to the VM's NSM. For scale-out (§2.1 "scale
+	// out with more modules to support higher throughput"), Pairs
+	// lists one channel per NSM replica and sockets are spread across
+	// them round-robin; set either Pair or Pairs.
+	Pair  *nkchan.Pair
+	Pairs []*nkchan.Pair
+	// SendCredit bounds bytes in the huge pages awaiting the NSM per
+	// socket (default 1 MiB): the shm-level send window.
+	SendCredit int
+}
+
+// Stats counts GuestLib activity.
+type Stats struct {
+	OpsIssued     uint64
+	Completions   uint64
+	Events        uint64
+	BytesSent     uint64
+	BytesReceived uint64
+	CreditStalls  uint64
+}
+
+type sockKind int
+
+const (
+	kindStream sockKind = iota
+	kindListener
+	kindDatagram
+)
+
+type sockState int
+
+const (
+	stIdle sockState = iota
+	stConnecting
+	stListening
+	stEstablished
+	stClosed
+)
+
+type socket struct {
+	fd    int32
+	kind  sockKind
+	state sockState
+	cbs   Callbacks
+	// pair is the NSM-replica channel this socket lives on.
+	pair *nkchan.Pair
+
+	// ready turns true once the CoreEngine has installed the fd↔cID
+	// mapping (the OpSocket completion, §3.2). Control operations
+	// issued before that are deferred, which is what the blocking
+	// socket() of the real API amounts to.
+	ready    bool
+	deferred []nqe.Element
+
+	// Send-side shm credit.
+	credit    int
+	wantWrite bool
+
+	// closeSent records that OpClose was issued, so Close is
+	// idempotent but still works after the peer's EOF (a conn-closed
+	// event reports the remote direction closing; the local side must
+	// still close to release the NSM connection).
+	closeSent bool
+
+	// Receive side: chunks copied out of the huge pages, in order.
+	recvQ    [][]byte
+	recvOff  int
+	eof      bool
+	closeErr error
+	accepts  []int32
+	// Datagram receive queue (datagram sockets only).
+	dgrams []datagram
+	bound  bool
+}
+
+type datagram struct {
+	src  ipv4.Addr
+	port uint16
+	data []byte
+}
+
+// GuestLib is one tenant VM's NetKernel endpoint.
+type GuestLib struct {
+	cfg      Config
+	pairs    []*nkchan.Pair
+	nextPair int // round-robin socket placement across replicas
+	sockets  map[int32]*socket
+	nextFD   int32
+	seq      uint64
+	stats    Stats
+	// stalled lists sockets whose Send came up short (credit, huge
+	// pages, or job-queue space). Every pump revisits them so one
+	// greedy socket cannot starve its siblings of queue slots.
+	stalled []int32
+	// pendingOps holds control operations that found the job queue
+	// full; they are retried (in order, ahead of new work) on every
+	// pump so a data flood can delay but never lose a connect or
+	// close.
+	pendingOps []pendingOp
+}
+
+type pendingOp struct {
+	pair *nkchan.Pair
+	e    nqe.Element
+}
+
+// New builds a GuestLib and wires it to its pairs' VM-side kicks.
+func New(cfg Config) *GuestLib {
+	pairs := cfg.Pairs
+	if len(pairs) == 0 && cfg.Pair != nil {
+		pairs = []*nkchan.Pair{cfg.Pair}
+	}
+	if cfg.Clock == nil || len(pairs) == 0 {
+		panic("guestlib: Config requires Clock and at least one Pair")
+	}
+	if cfg.SendCredit <= 0 {
+		cfg.SendCredit = 1 << 20
+	}
+	g := &GuestLib{cfg: cfg, pairs: pairs, sockets: make(map[int32]*socket), nextFD: 3}
+	for _, p := range pairs {
+		p := p
+		p.KickVM = func() { g.pump(p) }
+	}
+	return g
+}
+
+// Replicas returns how many NSM channels the guest spreads over.
+func (g *GuestLib) Replicas() int { return len(g.pairs) }
+
+// Stats returns a copy of the counters.
+func (g *GuestLib) Stats() Stats { return g.stats }
+
+func (g *GuestLib) push(pair *nkchan.Pair, e *nqe.Element) bool {
+	e.VMID = g.cfg.VMID
+	e.Source = nqe.FromVM
+	g.seq++
+	e.Seq = g.seq
+	if !pair.VMJob.Push(e) {
+		return false
+	}
+	g.stats.OpsIssued++
+	if pair.KickEngineVM != nil {
+		pair.KickEngineVM()
+	}
+	return true
+}
+
+// Socket creates a stream socket and returns its descriptor. (The
+// paper has the CoreEngine assign descriptor values; GuestLib drawing
+// them from a CoreEngine-granted range is equivalent and saves the
+// round trip — the descriptor space still lives outside the guest
+// kernel.)
+func (g *GuestLib) Socket(cbs Callbacks) int32 {
+	fd := g.nextFD
+	g.nextFD++
+	pair := g.pairs[g.nextPair%len(g.pairs)]
+	g.nextPair++
+	g.sockets[fd] = &socket{fd: fd, kind: kindStream, cbs: cbs, credit: g.cfg.SendCredit, pair: pair}
+	e := nqe.Element{Op: nqe.OpSocket, FD: fd}
+	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+	}
+	return fd
+}
+
+// SocketDatagram creates a UDP socket served by the NSM's stack. The
+// datagram API is SendTo/RecvFrom; OnReadable fires per arrival.
+func (g *GuestLib) SocketDatagram(cbs Callbacks) int32 {
+	fd := g.nextFD
+	g.nextFD++
+	pair := g.pairs[g.nextPair%len(g.pairs)]
+	g.nextPair++
+	g.sockets[fd] = &socket{fd: fd, kind: kindDatagram, cbs: cbs, credit: g.cfg.SendCredit, pair: pair}
+	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Arg0: 1 /* datagram */}
+	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+	}
+	return fd
+}
+
+// BindUDP binds a datagram socket to a local port (0 = ephemeral).
+func (g *GuestLib) BindUDP(fd int32, port uint16) error {
+	s := g.sockets[fd]
+	if s == nil || s.kind != kindDatagram {
+		return fmt.Errorf("guestlib: fd %d is not a datagram socket", fd)
+	}
+	if s.bound {
+		return fmt.Errorf("guestlib: fd %d already bound", fd)
+	}
+	s.bound = true
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpBind, FD: fd, Arg0: uint64(port)})
+	return nil
+}
+
+// SendTo transmits one datagram. Datagrams are bounded by the shm
+// chunk size (one descriptor each); oversize payloads are refused.
+func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte) error {
+	s := g.sockets[fd]
+	if s == nil || s.kind != kindDatagram {
+		return fmt.Errorf("guestlib: fd %d is not a datagram socket", fd)
+	}
+	if len(payload) > s.pair.ChunkSize() {
+		return fmt.Errorf("guestlib: datagram of %d bytes exceeds the %d-byte chunk", len(payload), s.pair.ChunkSize())
+	}
+	if !s.bound {
+		// BSD semantics: sending on an unbound datagram socket binds it
+		// to an ephemeral port implicitly.
+		if err := g.BindUDP(fd, 0); err != nil {
+			return err
+		}
+	}
+	chunk, ok := s.pair.Pages.Alloc()
+	if !ok {
+		return fmt.Errorf("guestlib: huge pages exhausted")
+	}
+	s.pair.Pages.Write(chunk, payload)
+	e := &nqe.Element{
+		Op: nqe.OpSend, FD: fd,
+		DataOff: chunk.Offset, DataLen: uint32(len(payload)),
+		Arg0: nqe.PackAddr(addr, port),
+	}
+	if !g.pushWhenReadyData(s, e) {
+		s.pair.Pages.Free(chunk)
+		return fmt.Errorf("guestlib: job queue full")
+	}
+	g.stats.BytesSent += uint64(len(payload))
+	return nil
+}
+
+// pushWhenReadyData is pushWhenReady for descriptor-carrying elements:
+// they cannot be retried from a copy after the chunk is freed, so a
+// full queue is reported to the caller instead.
+func (g *GuestLib) pushWhenReadyData(s *socket, e *nqe.Element) bool {
+	if !s.ready {
+		s.deferred = append(s.deferred, *e)
+		return true
+	}
+	return g.push(s.pair, e)
+}
+
+// RecvFrom pops one received datagram into buf.
+func (g *GuestLib) RecvFrom(fd int32, buf []byte) (n int, src ipv4.Addr, port uint16, ok bool) {
+	s := g.sockets[fd]
+	if s == nil || s.kind != kindDatagram || len(s.dgrams) == 0 {
+		return 0, ipv4.Addr{}, 0, false
+	}
+	d := s.dgrams[0]
+	s.dgrams = s.dgrams[1:]
+	n = copy(buf, d.data)
+	g.stats.BytesReceived += uint64(n)
+	return n, d.src, d.port, true
+}
+
+// Connect begins a three-way handshake to remote through the NSM's
+// stack. The result arrives via OnEstablished. Asynchronous, like the
+// §3.2 flow ("the application is returned right away").
+func (g *GuestLib) Connect(fd int32, addr ipv4.Addr, port uint16) error {
+	s, err := g.stream(fd)
+	if err != nil {
+		return err
+	}
+	if s.state != stIdle {
+		return fmt.Errorf("guestlib: connect on %v socket", s.state)
+	}
+	s.state = stConnecting
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpConnect, FD: fd, Arg0: nqe.PackAddr(addr, port)})
+	return nil
+}
+
+// pushWhenReady defers control operations until the CoreEngine has the
+// socket's mapping installed, and queues them for retry when the job
+// queue is full.
+func (g *GuestLib) pushWhenReady(s *socket, e *nqe.Element) {
+	if !s.ready {
+		s.deferred = append(s.deferred, *e)
+		return
+	}
+	if len(g.pendingOps) > 0 || !g.push(s.pair, e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, e: *e})
+	}
+}
+
+// Listen converts the socket into a listener on port.
+func (g *GuestLib) Listen(fd int32, port uint16, backlog int) error {
+	s, err := g.stream(fd)
+	if err != nil {
+		return err
+	}
+	if s.state != stIdle {
+		return fmt.Errorf("guestlib: listen on %v socket", s.state)
+	}
+	s.kind = kindListener
+	s.state = stListening
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpListen, FD: fd, Arg0: uint64(port), Arg1: uint64(backlog)})
+	return nil
+}
+
+// Accept pops an established connection from a listener's queue,
+// returning its descriptor. ok is false when none is pending.
+func (g *GuestLib) Accept(lfd int32) (fd int32, ok bool) {
+	s := g.sockets[lfd]
+	if s == nil || s.kind != kindListener || len(s.accepts) == 0 {
+		return 0, false
+	}
+	fd = s.accepts[0]
+	s.accepts = s.accepts[1:]
+	return fd, true
+}
+
+// SetCallbacks replaces a socket's event hooks (used for accepted
+// connections, which exist before the application sees them).
+func (g *GuestLib) SetCallbacks(fd int32, cbs Callbacks) error {
+	s := g.sockets[fd]
+	if s == nil {
+		return fmt.Errorf("guestlib: bad fd %d", fd)
+	}
+	s.cbs = cbs
+	return nil
+}
+
+// Send copies data into the shared huge pages and queues send jobs,
+// returning the number of bytes accepted. A short return means the shm
+// credit or huge pages ran out; OnWritable fires when capacity returns.
+// This is exactly §3.2's send path: "GuestLib intercepts the call and
+// puts the data into the huge pages. Meanwhile it adds an nqe with a
+// write operation to the VM job queue along with the data descriptor."
+func (g *GuestLib) Send(fd int32, p []byte) int {
+	s, err := g.stream(fd)
+	if err != nil || s.state != stEstablished {
+		return 0
+	}
+	chunkSize := s.pair.ChunkSize()
+	total := 0
+	for len(p) > 0 {
+		if s.credit <= 0 {
+			g.markStalled(s)
+			g.stats.CreditStalls++
+			break
+		}
+		n := min(min(chunkSize, len(p)), s.credit)
+		chunk, ok := s.pair.Pages.Alloc()
+		if !ok {
+			g.markStalled(s)
+			g.stats.CreditStalls++
+			break
+		}
+		s.pair.Pages.Write(chunk, p[:n])
+		e := &nqe.Element{
+			Op: nqe.OpSend, FD: fd,
+			DataOff: chunk.Offset, DataLen: uint32(n),
+		}
+		if len(p) > n {
+			e.Flags |= nqe.FlagMoreData
+		}
+		if !g.push(s.pair, e) {
+			s.pair.Pages.Free(chunk)
+			g.markStalled(s)
+			break
+		}
+		s.credit -= n
+		total += n
+		p = p[n:]
+	}
+	g.stats.BytesSent += uint64(total)
+	return total
+}
+
+// Recv drains received data into buf; eof reports a consumed FIN.
+func (g *GuestLib) Recv(fd int32, buf []byte) (n int, eof bool) {
+	s := g.sockets[fd]
+	if s == nil {
+		return 0, true
+	}
+	for n < len(buf) && len(s.recvQ) > 0 {
+		head := s.recvQ[0][s.recvOff:]
+		m := copy(buf[n:], head)
+		n += m
+		s.recvOff += m
+		if s.recvOff == len(s.recvQ[0]) {
+			s.recvQ = s.recvQ[1:]
+			s.recvOff = 0
+		}
+	}
+	if n > 0 {
+		g.stats.BytesReceived += uint64(n)
+		// Return receive credit so the NSM keeps reading (§3.2 recv()
+		// "simply checks and copies new data in the VM receive queue").
+		g.push(s.pair, &nqe.Element{Op: nqe.OpRecv, FD: fd, Arg0: uint64(n)})
+	}
+	return n, s.eof && len(s.recvQ) == 0
+}
+
+// ReadAvailable returns buffered receive bytes.
+func (g *GuestLib) ReadAvailable(fd int32) int {
+	s := g.sockets[fd]
+	if s == nil {
+		return 0
+	}
+	total := -s.recvOff
+	for _, c := range s.recvQ {
+		total += len(c)
+	}
+	return total
+}
+
+// SetSockOpt sets a socket option (§4.1 lists setsockopt among the
+// intercepted calls). Options are the nqe.SockOpt* constants.
+func (g *GuestLib) SetSockOpt(fd int32, opt, value uint64) error {
+	s := g.sockets[fd]
+	if s == nil {
+		return fmt.Errorf("guestlib: bad fd %d", fd)
+	}
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpSetSockOpt, FD: fd, Arg0: opt, Arg1: value})
+	return nil
+}
+
+// Close initiates shutdown; OnClose fires on completion. Closing after
+// the peer's EOF is both legal and required to release the connection.
+func (g *GuestLib) Close(fd int32) {
+	s := g.sockets[fd]
+	if s == nil || s.closeSent {
+		return
+	}
+	s.closeSent = true
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpClose, FD: fd})
+}
+
+func (g *GuestLib) stream(fd int32) (*socket, error) {
+	s := g.sockets[fd]
+	if s == nil {
+		return nil, fmt.Errorf("guestlib: bad fd %d", fd)
+	}
+	if s.kind != kindStream {
+		return nil, fmt.Errorf("guestlib: fd %d is not a stream socket", fd)
+	}
+	return s, nil
+}
+
+// pump drains one pair's VM completion and receive queues. It runs on
+// the clock executor when the CoreEngine kicks the VM side.
+func (g *GuestLib) pump(pair *nkchan.Pair) {
+	var e nqe.Element
+	for pair.VMCompletion.Pop(&e) {
+		g.stats.Completions++
+		g.handleCompletion(pair, &e)
+	}
+	for pair.VMReceive.Pop(&e) {
+		g.stats.Events++
+		g.handleEvent(pair, &e)
+	}
+	for len(g.pendingOps) > 0 {
+		op := g.pendingOps[0]
+		if !g.push(op.pair, &op.e) {
+			break
+		}
+		g.pendingOps = g.pendingOps[1:]
+	}
+	g.wakeStalled()
+}
+
+// wakeStalled revisits write-stalled sockets in descriptor order once
+// per pump, so freed queue slots and returned credit are shared instead
+// of monopolized by whichever socket stalls last.
+func (g *GuestLib) wakeStalled() {
+	if len(g.stalled) == 0 {
+		return
+	}
+	pending := g.stalled
+	g.stalled = nil
+	for _, fd := range pending {
+		s := g.sockets[fd]
+		if s == nil || !s.wantWrite {
+			continue
+		}
+		if s.credit <= 0 {
+			g.markStalled(s) // still out of credit; wait for completions
+			continue
+		}
+		s.wantWrite = false
+		if s.cbs.OnWritable != nil {
+			s.cbs.OnWritable()
+		}
+	}
+}
+
+func (g *GuestLib) markStalled(s *socket) {
+	s.wantWrite = true
+	for _, fd := range g.stalled {
+		if fd == s.fd {
+			return
+		}
+	}
+	g.stalled = append(g.stalled, s.fd)
+}
+
+func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
+	s := g.sockets[e.FD]
+	if s == nil {
+		return
+	}
+	switch e.Op {
+	case nqe.OpSend:
+		// The NSM consumed a chunk: credit returns.
+		s.credit += int(e.DataLen)
+	case nqe.OpSocket:
+		// The CoreEngine installed the fd↔cID mapping: deferred control
+		// operations may flow.
+		s.ready = true
+		for i := range s.deferred {
+			g.push(s.pair, &s.deferred[i])
+		}
+		s.deferred = nil
+	case nqe.OpListen, nqe.OpRecv, nqe.OpClose, nqe.OpSetSockOpt:
+		// Status-only completions.
+		if e.Status != nqe.StatusOK && s.cbs.OnClose != nil && s.state != stClosed {
+			s.state = stClosed
+			s.cbs.OnClose(e.Status.Err())
+		}
+	}
+}
+
+func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
+	s := g.sockets[e.FD]
+	switch e.Op {
+	case nqe.OpEstablished:
+		if s == nil {
+			return
+		}
+		if e.Status == nqe.StatusOK {
+			s.state = stEstablished
+		} else {
+			s.state = stClosed
+		}
+		if s.cbs.OnEstablished != nil {
+			s.cbs.OnEstablished(e.Status.Err())
+		}
+	case nqe.OpNewConn:
+		// CoreEngine already assigned the new connection's fd (§3.2:
+		// "CoreEngine generates a new socket fd on behalf of the VM for
+		// the new flow"); it arrives in Arg1.
+		if s == nil || s.kind != kindListener {
+			return
+		}
+		newFD := int32(e.Arg1)
+		g.sockets[newFD] = &socket{
+			fd: newFD, kind: kindStream, state: stEstablished,
+			credit: g.cfg.SendCredit, ready: true, pair: s.pair,
+		}
+		s.accepts = append(s.accepts, newFD)
+		if len(s.accepts) == 1 && s.cbs.OnAcceptable != nil {
+			s.cbs.OnAcceptable()
+		}
+	case nqe.OpNewData:
+		if s == nil {
+			return
+		}
+		// Copy out of the huge pages and free the chunk.
+		data := make([]byte, e.DataLen)
+		pair.Pages.Read(shmChunk(e.DataOff), data, int(e.DataLen))
+		pair.Pages.Free(shmChunk(e.DataOff))
+		if s.kind == kindDatagram {
+			src, port := nqe.UnpackAddr(e.Arg0)
+			s.dgrams = append(s.dgrams, datagram{src: src, port: port, data: data})
+		} else {
+			s.recvQ = append(s.recvQ, data)
+		}
+		if s.cbs.OnReadable != nil {
+			s.cbs.OnReadable()
+		}
+	case nqe.OpConnClosed:
+		if s == nil {
+			return
+		}
+		s.eof = true
+		wasClosed := s.state == stClosed
+		s.state = stClosed
+		s.closeErr = e.Status.Err()
+		if s.cbs.OnReadable != nil {
+			s.cbs.OnReadable() // EOF is readable
+		}
+		if !wasClosed && s.cbs.OnClose != nil {
+			s.cbs.OnClose(s.closeErr)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,354 @@
+package hypervisor
+
+import (
+	"time"
+
+	"netkernel/internal/nkchan"
+	"netkernel/internal/nqe"
+	"netkernel/internal/sim"
+)
+
+// EngineConfig shapes the CoreEngine's cost model.
+type EngineConfig struct {
+	// NotifyLatency is the engine's own wakeup latency per batched
+	// interrupt (added to the NSM form's doorbell latency). Default
+	// 1 µs.
+	NotifyLatency time.Duration
+	// NqeCopyCost is the per-element queue-to-queue copy cost; §4.2
+	// measures ~12 ns on the prototype (and bench_test.go reproduces
+	// it on real memory). Default 12 ns.
+	NqeCopyCost time.Duration
+	// MappingGrace is how long a closed connection's fd↔cID entry
+	// survives after its conn-closed event, so a straggling OpClose
+	// from the guest still translates. Default 2 s.
+	MappingGrace time.Duration
+}
+
+func (c *EngineConfig) fillDefaults() {
+	if c.NotifyLatency <= 0 {
+		c.NotifyLatency = time.Microsecond
+	}
+	if c.NqeCopyCost <= 0 {
+		c.NqeCopyCost = 12 * time.Nanosecond
+	}
+	if c.MappingGrace <= 0 {
+		c.MappingGrace = 2 * time.Second
+	}
+}
+
+// EngineStats counts CoreEngine activity.
+type EngineStats struct {
+	NqesVMToNSM uint64
+	NqesNSMToVM uint64
+	Translated  uint64
+	BadElements uint64
+}
+
+// Mappings returns the total live fd↔cID entries across pairs
+// (monitoring; a steadily growing value would indicate a leak).
+func (ce *CoreEngine) Mappings() int {
+	n := 0
+	for _, ep := range ce.pairs {
+		n += len(ep.fdToCID)
+	}
+	return n
+}
+
+// CoreEngine is the hypervisor daemon of §3: it copies nqes between VM
+// and NSM queues, owns the <VM ID, fd> ↔ <NSM ID, cID> connection
+// mapping table, and assigns descriptors for accepted connections.
+type CoreEngine struct {
+	clock sim.Clock
+	cfg   EngineConfig
+	pairs []*enginePair
+	stats EngineStats
+}
+
+// NewCoreEngine builds the daemon.
+func NewCoreEngine(clock sim.Clock, cfg EngineConfig) *CoreEngine {
+	cfg.fillDefaults()
+	return &CoreEngine{clock: clock, cfg: cfg}
+}
+
+// Stats returns a copy of the counters.
+func (ce *CoreEngine) Stats() EngineStats { return ce.stats }
+
+// Pairs returns the number of attached VM↔NSM channels.
+func (ce *CoreEngine) Pairs() int { return len(ce.pairs) }
+
+// enginePair is one VM↔NSM channel's state inside the engine,
+// including its slice of the connection mapping table (Figure 3).
+type enginePair struct {
+	engine *CoreEngine
+	ch     *nkchan.Pair
+	vmID   uint32
+	nsmID  uint32
+	notify time.Duration
+
+	fdToCID map[int32]uint32
+	cidToFD map[uint32]int32
+	// pendingFD correlates OpSocket completions back to the guest fd
+	// (by Seq) so the mapping can be installed.
+	pendingFD map[uint64]int32
+	// nextFD allocates descriptors for accepted connections (§3.2:
+	// "CoreEngine generates a new socket fd on behalf of the VM").
+	// The range is disjoint from GuestLib's own allocations.
+	nextFD int32
+
+	readyAt      sim.Time // NSM boot gate
+	vmScheduled  bool
+	nsmScheduled bool
+	// stalled holds elements that could not be pushed to a full queue.
+	stalledToNSM []nqe.Element
+	stalledToVM  []stalledOut
+}
+
+type stalledOut struct {
+	e          nqe.Element
+	completion bool
+}
+
+// Attach registers a channel with the engine. notifyExtra is the NSM
+// form's doorbell latency; readyAt gates service until the NSM boots.
+// fdBase seeds the accepted-connection descriptor range; a VM attached
+// to several NSM replicas gives each a disjoint base.
+func (ce *CoreEngine) Attach(ch *nkchan.Pair, vmID, nsmID uint32, notifyExtra time.Duration, readyAt sim.Time, fdBase int32) {
+	if fdBase <= 0 {
+		fdBase = 1 << 20
+	}
+	ep := &enginePair{
+		engine: ce, ch: ch, vmID: vmID, nsmID: nsmID,
+		notify:    ce.cfg.NotifyLatency + notifyExtra,
+		fdToCID:   make(map[int32]uint32),
+		cidToFD:   make(map[uint32]int32),
+		pendingFD: make(map[uint64]int32),
+		nextFD:    fdBase,
+		readyAt:   readyAt,
+	}
+	ch.KickEngineVM = ep.kickVM
+	ch.KickEngineNSM = ep.kickNSM
+	ce.pairs = append(ce.pairs, ep)
+}
+
+// delay returns how long until the pair may pump: the notify latency,
+// stretched while the NSM is still booting.
+func (ep *enginePair) delay() time.Duration {
+	d := ep.notify
+	if now := ep.engine.clock.Now(); now < ep.readyAt {
+		if wait := ep.readyAt.Sub(now); wait > d {
+			d = wait
+		}
+	}
+	return d
+}
+
+func (ep *enginePair) kickVM() {
+	if ep.vmScheduled {
+		return
+	}
+	ep.vmScheduled = true
+	ep.engine.clock.AfterFunc(ep.delay(), ep.pumpVM)
+}
+
+func (ep *enginePair) kickNSM() {
+	if ep.nsmScheduled {
+		return
+	}
+	ep.nsmScheduled = true
+	ep.engine.clock.AfterFunc(ep.delay(), ep.pumpNSM)
+}
+
+// pumpVM drains the VM job queue into the NSM job queue, translating
+// <VM ID, fd> to <NSM ID, cID> via the mapping table.
+func (ep *enginePair) pumpVM() {
+	ep.vmScheduled = false
+	ce := ep.engine
+	count := 0
+
+	// Retry previously stalled elements first to preserve order.
+	for len(ep.stalledToNSM) > 0 {
+		e := ep.stalledToNSM[0]
+		if !ep.ch.NSMJob.Push(&e) {
+			break
+		}
+		ep.stalledToNSM = ep.stalledToNSM[1:]
+		count++
+	}
+	var e nqe.Element
+	for len(ep.stalledToNSM) == 0 && ep.ch.VMJob.Pop(&e) {
+		if err := e.Validate(); err != nil || e.VMID != ep.vmID {
+			ce.stats.BadElements++
+			continue
+		}
+		if !ep.translateToNSM(&e) {
+			continue
+		}
+		if !ep.ch.NSMJob.Push(&e) {
+			ep.stalledToNSM = append(ep.stalledToNSM, e)
+			break
+		}
+		count++
+	}
+
+	if count > 0 || len(ep.stalledToNSM) > 0 {
+		ce.stats.NqesVMToNSM += uint64(count)
+		cost := time.Duration(count) * ce.cfg.NqeCopyCost
+		ce.clock.AfterFunc(ep.notify+cost, func() {
+			if ep.ch.KickNSM != nil {
+				ep.ch.KickNSM()
+			}
+			// Stalled elements need another pump once the NSM drains.
+			if len(ep.stalledToNSM) > 0 {
+				ep.kickVM()
+			}
+		})
+	}
+}
+
+func (ep *enginePair) translateToNSM(e *nqe.Element) bool {
+	ce := ep.engine
+	e.NSMID = ep.nsmID
+	switch e.Op {
+	case nqe.OpSocket:
+		// The cID does not exist yet; remember the fd for the
+		// completion.
+		ep.pendingFD[e.Seq] = e.FD
+	default:
+		cid, ok := ep.fdToCID[e.FD]
+		if !ok {
+			// Unknown descriptor: answer the VM with an error.
+			ce.stats.BadElements++
+			ep.pushToVM(nqe.Element{
+				Op: e.Op, FD: e.FD, Seq: e.Seq, VMID: ep.vmID,
+				Source: nqe.FromCore, Status: nqe.StatusInvalid,
+				Flags: nqe.FlagCompletion,
+			}, true)
+			return false
+		}
+		e.CID = cid
+	}
+	ce.stats.Translated++
+	return true
+}
+
+// pumpNSM drains the NSM completion and receive queues toward the VM,
+// translating <NSM ID, cID> back to <VM ID, fd>.
+func (ep *enginePair) pumpNSM() {
+	ep.nsmScheduled = false
+	ce := ep.engine
+	count := 0
+
+	for len(ep.stalledToVM) > 0 {
+		s := ep.stalledToVM[0]
+		if !ep.pushToVM(s.e, s.completion) {
+			break
+		}
+		ep.stalledToVM = ep.stalledToVM[1:]
+		count++
+	}
+
+	var e nqe.Element
+	for len(ep.stalledToVM) == 0 && ep.ch.NSMCompletion.Pop(&e) {
+		if !ep.translateToVM(&e) {
+			continue
+		}
+		if !ep.pushToVM(e, true) {
+			ep.stalledToVM = append(ep.stalledToVM, stalledOut{e, true})
+			break
+		}
+		count++
+	}
+	for len(ep.stalledToVM) == 0 && ep.ch.NSMReceive.Pop(&e) {
+		if !ep.translateToVM(&e) {
+			continue
+		}
+		if !ep.pushToVM(e, false) {
+			ep.stalledToVM = append(ep.stalledToVM, stalledOut{e, false})
+			break
+		}
+		count++
+	}
+
+	if count > 0 || len(ep.stalledToVM) > 0 {
+		ce.stats.NqesNSMToVM += uint64(count)
+		cost := time.Duration(count) * ce.cfg.NqeCopyCost
+		ce.clock.AfterFunc(ep.notify+cost, func() {
+			if ep.ch.KickVM != nil {
+				ep.ch.KickVM()
+			}
+			// Draining the NSM-side rings may have unblocked stalled
+			// ServiceLib emissions; give it a chance to refill.
+			if ep.ch.KickNSM != nil {
+				ep.ch.KickNSM()
+			}
+			if len(ep.stalledToVM) > 0 {
+				ep.kickNSM()
+			}
+		})
+	}
+}
+
+func (ep *enginePair) pushToVM(e nqe.Element, completion bool) bool {
+	e.VMID = ep.vmID
+	if completion {
+		return ep.ch.VMCompletion.Push(&e)
+	}
+	return ep.ch.VMReceive.Push(&e)
+}
+
+func (ep *enginePair) translateToVM(e *nqe.Element) bool {
+	ce := ep.engine
+	e.VMID = ep.vmID
+	switch e.Op {
+	case nqe.OpSocket:
+		// Completion of a socket creation: install the mapping.
+		fd, ok := ep.pendingFD[e.Seq]
+		if !ok {
+			ce.stats.BadElements++
+			return false
+		}
+		delete(ep.pendingFD, e.Seq)
+		ep.fdToCID[fd] = e.CID
+		ep.cidToFD[e.CID] = fd
+		e.FD = fd
+	case nqe.OpConnClosed:
+		fd, ok := ep.cidToFD[e.CID]
+		if !ok {
+			ce.stats.BadElements++
+			return false
+		}
+		e.FD = fd
+		// The connection is gone: retire its mapping after a grace
+		// period (a straggling OpClose from the guest must still
+		// translate), so long-lived pairs do not accumulate entries.
+		cid := e.CID
+		ce.clock.AfterFunc(ce.cfg.MappingGrace, func() {
+			delete(ep.fdToCID, fd)
+			delete(ep.cidToFD, cid)
+		})
+	case nqe.OpNewConn:
+		// A new accepted flow: mint a descriptor for the VM and map it
+		// to the NSM's new cID (carried in Arg1).
+		lfd, ok := ep.cidToFD[e.CID]
+		if !ok {
+			ce.stats.BadElements++
+			return false
+		}
+		newCID := uint32(e.Arg1)
+		newFD := ep.nextFD
+		ep.nextFD++
+		ep.fdToCID[newFD] = newCID
+		ep.cidToFD[newCID] = newFD
+		e.FD = lfd
+		e.Arg1 = uint64(uint32(newFD))
+	default:
+		fd, ok := ep.cidToFD[e.CID]
+		if !ok {
+			ce.stats.BadElements++
+			return false
+		}
+		e.FD = fd
+	}
+	ce.stats.Translated++
+	return true
+}

@@ -1,0 +1,405 @@
+package hypervisor
+
+import (
+	"fmt"
+	"time"
+
+	"netkernel/internal/guestlib"
+	"netkernel/internal/netsim"
+	"netkernel/internal/nkchan"
+	"netkernel/internal/proto/ethernet"
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/sched"
+	"netkernel/internal/servicelib"
+	"netkernel/internal/sim"
+	"netkernel/internal/stack"
+	"netkernel/internal/vswitch"
+)
+
+// HostConfig parameterizes one physical host.
+type HostConfig struct {
+	Name  string
+	Clock sim.Clock
+	RNG   *sim.RNG
+	// HostID distinguishes MAC address ranges between hosts.
+	HostID uint8
+	// Cores is the host CPU size (default 8, the testbed's E5-2618LV3).
+	Cores int
+	// PerPacketCost models per-core stack processing (0 = free).
+	PerPacketCost time.Duration
+	// RoundRobinCores pins flows to cores round-robin (see
+	// stack.Config.RoundRobinCores).
+	RoundRobinCores bool
+	// SwitchMode selects the overlay switch substrate.
+	SwitchMode vswitch.Mode
+	// Engine configures the CoreEngine cost model.
+	Engine EngineConfig
+	// Chan configures VM↔NSM channels.
+	Chan nkchan.Config
+
+	// TCP knobs inherited by every stack on the host.
+	MinRTO            time.Duration
+	MSL               time.Duration
+	DelayedAckTimeout time.Duration
+	SendBufSize       int
+	RecvBufSize       int
+	// ShmWindow sizes the shared-memory flow-control windows
+	// (GuestLib send credit, ServiceLib receive window). Default 1 MiB;
+	// high-bandwidth-delay scenarios raise it alongside the TCP
+	// buffers.
+	ShmWindow int
+	// MaskBits is the on-link prefix length (default 8: one flat
+	// 10/8 fabric, everything on-link).
+	MaskBits int
+}
+
+// Host is one physical machine: NIC, overlay switch, cores, CoreEngine,
+// and the VMs and NSMs placed on it.
+type Host struct {
+	cfg   HostConfig
+	clock sim.Clock
+	rng   *sim.RNG
+
+	CPU    *netsim.CPU
+	NIC    *netsim.NIC
+	Switch *vswitch.Switch
+	Engine *CoreEngine
+
+	vms  map[uint32]*VM
+	nsms map[uint32]*NSM
+
+	nextVMID  uint32
+	nextNSMID uint32
+	macSeq    uint16
+}
+
+// NewHost builds a host.
+func NewHost(cfg HostConfig) *Host {
+	if cfg.Clock == nil {
+		panic("hypervisor: HostConfig.Clock required")
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(uint64(cfg.HostID) + 7)
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.MaskBits == 0 {
+		cfg.MaskBits = 8
+	}
+	h := &Host{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		rng:   cfg.RNG,
+		CPU:   netsim.NewCPU(cfg.Clock, cfg.Cores),
+		vms:   make(map[uint32]*VM),
+		nsms:  make(map[uint32]*NSM),
+	}
+	h.NIC = netsim.NewNIC(cfg.Clock, h.newMAC())
+	h.Switch = vswitch.New(cfg.Clock, vswitch.Config{Mode: cfg.SwitchMode})
+	h.Engine = NewCoreEngine(cfg.Clock, cfg.Engine)
+
+	// The physical port is one switch port: frames from the wire enter
+	// the switch through it; frames the switch sends out it reach the
+	// wire.
+	uplink := h.Switch.AddPort(netsim.PortFunc(func(f []byte) { h.NIC.Send(f) }))
+	h.NIC.SetHandler(uplink.Deliver)
+	return h
+}
+
+// Name returns the host's label.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Clock returns the host's clock.
+func (h *Host) Clock() sim.Clock { return h.clock }
+
+func (h *Host) newMAC() netsim.MAC {
+	h.macSeq++
+	return netsim.MAC{0x02, h.cfg.HostID, 0, 0, byte(h.macSeq >> 8), byte(h.macSeq)}
+}
+
+// VMMode selects the Figure 1 architecture for a tenant VM.
+type VMMode int
+
+// Modes.
+const (
+	// ModeLegacy is Figure 1a: the network stack inside the guest.
+	ModeLegacy VMMode = iota
+	// ModeNetKernel is Figure 1b: network stack as a service.
+	ModeNetKernel
+)
+
+func (m VMMode) String() string {
+	if m == ModeNetKernel {
+		return "netkernel"
+	}
+	return "legacy"
+}
+
+// NSMSpec requests a Network Stack Module for a VM.
+type NSMSpec struct {
+	// Form selects the realization (VM / unikernel / container /
+	// module).
+	Form NSMForm
+	// CC names the stack the module hosts ("cubic", "bbr", …); this is
+	// the NSM's identity. Default "cubic".
+	CC string
+	// Cores scales the module up (§2.1 "dynamically scale up the
+	// network stack module with more dedicated cores"); 0 uses the
+	// form default.
+	Cores int
+	// SRIOV attaches the NSM to a NIC virtual function, bypassing the
+	// host switch (§3.1).
+	SRIOV bool
+	// ShareWith multiplexes this VM onto an existing NSM instead of
+	// booting a new one (§2.1 "exploit the multiplexing gains by
+	// serving multiple tenant VMs with the same network stack module").
+	ShareWith *NSM
+	// Replicas scales the tenant out across several NSM instances
+	// (§2.1 "scale out with more modules to support higher throughput
+	// to a large number of concurrent connections"): sockets are
+	// spread round-robin across the replicas. Each replica gets its
+	// own network identity (the VM's IP with the last octet offset by
+	// the replica index). 0 and 1 both mean a single module.
+	Replicas int
+	// RateLimitBps caps this tenant's egress through the module in
+	// bits per second — the throughput-SLA knob of §2.1. Zero means
+	// unlimited.
+	RateLimitBps float64
+}
+
+// VMConfig requests a tenant VM.
+type VMConfig struct {
+	Name    string
+	Profile guestlib.GuestProfile
+	IP      ipv4.Addr
+	Mode    VMMode
+	// NSM configures the module for ModeNetKernel.
+	NSM NSMSpec
+	// SendCredit overrides GuestLib's shm send window.
+	SendCredit int
+}
+
+// VM is one tenant virtual machine.
+type VM struct {
+	ID      uint32
+	Name    string
+	Profile guestlib.GuestProfile
+	IP      ipv4.Addr
+	Mode    VMMode
+
+	// Guest is the NetKernel-mode socket surface (nil in legacy mode).
+	Guest *guestlib.GuestLib
+	// Service is this VM's ServiceLib pump inside its (first) NSM (nil
+	// in legacy mode); per-tenant accounting reads its counters.
+	Service *servicelib.ServiceLib
+	// Services lists one pump per NSM replica (scale-out); length 1
+	// normally.
+	Services []*servicelib.ServiceLib
+	// NSMs lists the attached replicas; NSM is NSMs[0].
+	NSMs []*NSM
+	// Legacy is the in-guest stack (nil in NetKernel mode).
+	Legacy *stack.Stack
+	// NSM is the attached module (nil in legacy mode).
+	NSM *NSM
+
+	host *Host
+}
+
+// NSM is one Network Stack Module instance.
+type NSM struct {
+	ID      uint32
+	Form    NSMForm
+	Profile FormProfile
+	CC      string
+	Stack   *stack.Stack
+	// CPU is the module's core reservation (the host CPU for
+	// FormModule).
+	CPU *netsim.CPU
+	// ReadyAt is when the module finishes booting.
+	ReadyAt sim.Time
+	// Services are the per-VM ServiceLib pumps (one per multiplexed
+	// VM).
+	Services []*servicelib.ServiceLib
+
+	host *Host
+}
+
+// Tenants returns how many VMs the module serves.
+func (n *NSM) Tenants() int { return len(n.Services) }
+
+func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU) stack.Config {
+	return stack.Config{
+		Clock:             h.clock,
+		RNG:               sim.NewRNG(h.rng.Uint64()),
+		Name:              name,
+		CPU:               cpu,
+		PerPacketCost:     h.cfg.PerPacketCost,
+		RoundRobinCores:   h.cfg.RoundRobinCores,
+		DefaultCC:         cc,
+		MinRTO:            h.cfg.MinRTO,
+		MSL:               h.cfg.MSL,
+		DelayedAckTimeout: h.cfg.DelayedAckTimeout,
+		SendBufSize:       h.cfg.SendBufSize,
+		RecvBufSize:       h.cfg.RecvBufSize,
+	}
+}
+
+// attachStack wires a stack to the fabric: a switch port normally, or
+// an SR-IOV virtual function for host bypass.
+func (h *Host) attachStack(s *stack.Stack, ip ipv4.Addr, sriov bool) {
+	mac := ethernet.MAC(h.newMAC())
+	if sriov {
+		vf := h.NIC.AddVF(netsim.MAC(mac))
+		vf.SetHandler(s.DeliverFrame)
+		s.AttachInterface(mac, ip, ethernet.MTU, h.cfg.MaskBits, ipv4.Addr{}, vf.Send)
+		return
+	}
+	port := h.Switch.AddPort(netsim.PortFunc(s.DeliverFrame))
+	s.AttachInterface(mac, ip, ethernet.MTU, h.cfg.MaskBits, ipv4.Addr{}, port.Deliver)
+}
+
+// BootNSM provisions a Network Stack Module (normally done implicitly
+// by CreateVM; exposed for scale-out scenarios). ip is the module's
+// network identity.
+func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
+	if spec.CC == "" {
+		spec.CC = "cubic"
+	}
+	h.nextNSMID++
+	prof := spec.Form.Profile()
+	cores := spec.Cores
+	if cores <= 0 {
+		cores = prof.DedicatedCores
+	}
+	cpu := h.CPU // FormModule shares hypervisor cores
+	if cores > 0 {
+		cpu = netsim.NewCPU(h.clock, cores)
+	}
+	n := &NSM{
+		ID:      h.nextNSMID,
+		Form:    spec.Form,
+		Profile: prof,
+		CC:      spec.CC,
+		CPU:     cpu,
+		ReadyAt: h.clock.Now().Add(prof.BootTime),
+		host:    h,
+	}
+	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu))
+	h.attachStack(n.Stack, ip, spec.SRIOV)
+	h.nsms[n.ID] = n
+	return n
+}
+
+// CreateVM provisions a tenant VM. In NetKernel mode the CoreEngine
+// boots (or attaches) the NSM and wires the shared-memory channel, as
+// §3.1 describes ("A NetKernel CoreEngine runs on the hypervisor and
+// is responsible for setting up the NSM when a VM boots").
+func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
+	if cfg.IP.IsZero() {
+		return nil, fmt.Errorf("hypervisor: VM %q needs an IP", cfg.Name)
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = guestlib.ProfileLinux
+	}
+	h.nextVMID++
+	vm := &VM{
+		ID: h.nextVMID, Name: cfg.Name, Profile: cfg.Profile,
+		IP: cfg.IP, Mode: cfg.Mode, host: h,
+	}
+
+	switch cfg.Mode {
+	case ModeLegacy:
+		// Figure 1a/2a: the guest kernel's own stack, vNIC into the
+		// overlay switch. Its congestion control is whatever the guest
+		// OS ships (CUBIC on Linux, C-TCP on Windows, …).
+		vm.Legacy = stack.New(h.stackConfig(
+			fmt.Sprintf("%s/vm%d-%s", h.cfg.Name, vm.ID, cfg.Name),
+			cfg.Profile.DefaultCC(), h.CPU))
+		h.attachStack(vm.Legacy, cfg.IP, false)
+
+	case ModeNetKernel:
+		replicas := cfg.NSM.Replicas
+		if replicas < 1 {
+			replicas = 1
+		}
+		if cfg.NSM.ShareWith != nil {
+			replicas = 1
+		}
+		credit := cfg.SendCredit
+		if credit <= 0 {
+			credit = h.cfg.ShmWindow
+		}
+		var pairs []*nkchan.Pair
+		for r := 0; r < replicas; r++ {
+			nsm := cfg.NSM.ShareWith
+			if nsm == nil {
+				ip := cfg.IP
+				ip[3] += byte(r) // per-replica network identity
+				nsm = h.BootNSM(cfg.NSM, ip)
+			}
+			if vm.NSM == nil {
+				vm.NSM = nsm
+			}
+			vm.NSMs = append(vm.NSMs, nsm)
+
+			pair, err := nkchan.NewPair(h.cfg.Chan)
+			if err != nil {
+				return nil, fmt.Errorf("hypervisor: %w", err)
+			}
+			var shaper sched.Shaper
+			if cfg.NSM.RateLimitBps > 0 {
+				shaper = sched.NewTokenBucket(h.clock, cfg.NSM.RateLimitBps/8, 0)
+			}
+			svc := servicelib.New(servicelib.Config{
+				Clock:      h.clock,
+				NSMID:      nsm.ID,
+				Pair:       pair,
+				Stack:      nsm.Stack,
+				CC:         nsm.CC,
+				Shaper:     shaper,
+				RecvWindow: h.cfg.ShmWindow,
+			})
+			nsm.Services = append(nsm.Services, svc)
+			if vm.Service == nil {
+				vm.Service = svc
+			}
+			vm.Services = append(vm.Services, svc)
+			h.Engine.Attach(pair, vm.ID, nsm.ID, nsm.Profile.NotifyLatency, nsm.ReadyAt,
+				int32(1+r)<<20)
+			pairs = append(pairs, pair)
+		}
+		vm.Guest = guestlib.New(guestlib.Config{
+			Clock:      h.clock,
+			VMID:       vm.ID,
+			Pairs:      pairs,
+			SendCredit: credit,
+		})
+
+	default:
+		return nil, fmt.Errorf("hypervisor: unknown VM mode %d", cfg.Mode)
+	}
+
+	h.vms[vm.ID] = vm
+	return vm, nil
+}
+
+// VMs returns the host's VM count.
+func (h *Host) VMs() int { return len(h.vms) }
+
+// NSMs returns the host's NSM count.
+func (h *Host) NSMs() int { return len(h.nsms) }
+
+// EachNSM visits every NSM (accounting, scheduling).
+func (h *Host) EachNSM(fn func(*NSM)) {
+	for _, n := range h.nsms {
+		fn(n)
+	}
+}
+
+// EachVM visits every VM.
+func (h *Host) EachVM(fn func(*VM)) {
+	for _, v := range h.vms {
+		fn(v)
+	}
+}

@@ -1,0 +1,105 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/guestlib"
+)
+
+// TestScaleOutReplicas verifies §2.1 scale-out: a VM attached to
+// several NSM replicas spreads its sockets across them and exceeds the
+// single-module per-core ceiling.
+func TestScaleOutReplicas(t *testing.T) {
+	c := newCluster(t, nil)
+	vma, err := c.h1.CreateVM(VMConfig{
+		Name: "scaled", IP: ipVMA, Mode: ModeNetKernel,
+		NSM: NSMSpec{Form: FormModule, CC: "cubic", Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vma.Guest.Replicas() != 3 || len(vma.NSMs) != 3 || c.h1.NSMs() != 3 {
+		t.Fatalf("replicas: guest=%d vm=%d host=%d", vma.Guest.Replicas(), len(vma.NSMs), c.h1.NSMs())
+	}
+	// Distinct network identities per replica.
+	seen := map[string]bool{}
+	for _, n := range vma.NSMs {
+		ip := n.Stack.Interface().IP.String()
+		if seen[ip] {
+			t.Fatalf("replicas share IP %s", ip)
+		}
+		seen[ip] = true
+	}
+
+	vmb, _ := c.h2.CreateVM(VMConfig{Name: "sink", IP: ipVMB, Mode: ModeNetKernel, NSM: moduleNSM("cubic")})
+	c.loop.RunFor(50 * time.Millisecond)
+
+	// Three connections land on three different replica stacks.
+	lfd := vmb.Guest.Socket(guestlib.Callbacks{})
+	vmb.Guest.Listen(lfd, 80, 16)
+	established := 0
+	for i := 0; i < 3; i++ {
+		fd := vma.Guest.Socket(guestlib.Callbacks{
+			OnEstablished: func(err error) {
+				if err == nil {
+					established++
+				}
+			},
+		})
+		vma.Guest.Connect(fd, ipVMB, 80)
+	}
+	c.loop.RunFor(500 * time.Millisecond)
+	if established != 3 {
+		t.Fatalf("established %d of 3 across replicas", established)
+	}
+	for i, n := range vma.NSMs {
+		if n.Stack.ConnCount() != 1 {
+			t.Fatalf("replica %d holds %d conns, want 1 (round-robin spread)", i, n.Stack.ConnCount())
+		}
+	}
+
+	// Data flows across the replicas too.
+	got := bulkThrough(c, vma, vmb, 9000, 1<<20, time.Second)
+	if got != 1<<20 {
+		t.Fatalf("scale-out transfer moved %d of %d", got, 1<<20)
+	}
+}
+
+// TestScaleOutAcceptedFDsDisjoint guards the per-replica descriptor
+// ranges: accepted-connection fds from different replicas must not
+// collide.
+func TestScaleOutAcceptedFDsDisjoint(t *testing.T) {
+	c := newCluster(t, nil)
+	vma, _ := c.h1.CreateVM(VMConfig{Name: "a", IP: ipVMA, Mode: ModeNetKernel,
+		NSM: NSMSpec{Form: FormModule, CC: "cubic", Replicas: 2}})
+	vmb, _ := c.h2.CreateVM(VMConfig{Name: "b", IP: ipVMB, Mode: ModeNetKernel, NSM: moduleNSM("cubic")})
+	c.loop.RunFor(50 * time.Millisecond)
+
+	// Listeners on both replicas of vma (sockets round-robin), then
+	// connections from vmb to each replica's address.
+	fds := map[int32]bool{}
+	for r := 0; r < 2; r++ {
+		lfd := vma.Guest.Socket(guestlib.Callbacks{})
+
+		vma.Guest.SetCallbacks(lfd, guestlib.Callbacks{OnAcceptable: func() {
+			fd, ok := vma.Guest.Accept(lfd)
+			if ok {
+				if fds[fd] {
+					t.Errorf("accepted fd %d collides across replicas", fd)
+				}
+				fds[fd] = true
+			}
+		}})
+		vma.Guest.Listen(lfd, 80, 8)
+	}
+	for r := 0; r < 2; r++ {
+		ip := vma.NSMs[r].Stack.Interface().IP
+		fd := vmb.Guest.Socket(guestlib.Callbacks{})
+		vmb.Guest.Connect(fd, ip, 80)
+	}
+	c.loop.RunFor(500 * time.Millisecond)
+	if len(fds) != 2 {
+		t.Fatalf("accepted %d connections, want 2", len(fds))
+	}
+}

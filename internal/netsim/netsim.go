@@ -1,0 +1,187 @@
+// Package netsim is the simulated physical substrate NetKernel runs on:
+// links with configurable bandwidth, propagation delay, queueing, random
+// loss and ECN marking; NICs with SR-IOV virtual functions; and a
+// per-core CPU service model.
+//
+// The paper's testbed is two Xeon servers with Intel X710 40 GbE NICs
+// joined back to back (§4.1), plus a Beijing↔California WAN path for the
+// flexibility experiment (§4.3: 12 Mbit/s uplink, 350 ms average RTT).
+// Both are link configurations here; see the presets in profiles.go.
+//
+// Everything in this package runs on a sim.Clock, so the fabric is
+// deterministic in the virtual-time domain and usable in the wall-clock
+// domain.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"netkernel/internal/sim"
+)
+
+// BitsPerSec expresses link capacity.
+type BitsPerSec float64
+
+// Common capacities.
+const (
+	Kbps BitsPerSec = 1e3
+	Mbps BitsPerSec = 1e6
+	Gbps BitsPerSec = 1e9
+)
+
+func (b BitsPerSec) String() string {
+	switch {
+	case b >= Gbps:
+		return fmt.Sprintf("%.2fGbit/s", float64(b)/1e9)
+	case b >= Mbps:
+		return fmt.Sprintf("%.2fMbit/s", float64(b)/1e6)
+	case b >= Kbps:
+		return fmt.Sprintf("%.2fKbit/s", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%.0fbit/s", float64(b))
+	}
+}
+
+// A Port is anything that accepts a frame from the fabric. Frames are
+// whole Ethernet frames; the receiver owns the slice.
+type Port interface {
+	Deliver(frame []byte)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(frame []byte)
+
+// Deliver implements Port.
+func (f PortFunc) Deliver(frame []byte) { f(frame) }
+
+// LinkConfig shapes one direction of a link.
+type LinkConfig struct {
+	// Rate is the transmission capacity. Zero means infinitely fast.
+	Rate BitsPerSec
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// LossProb is a Bernoulli per-frame corruption probability.
+	LossProb float64
+	// QueueBytes bounds the drop-tail transmit queue. Zero means a
+	// generous default of one bandwidth-delay product (minimum 64 KB).
+	QueueBytes int
+	// ECNThresholdBytes, when positive, marks frames (via the Marker
+	// hook) once the queue occupancy exceeds it — a RED-at-threshold
+	// model sufficient for DCTCP.
+	ECNThresholdBytes int
+	// Marker is invoked in place on frames selected for ECN marking.
+	// The stack wires it to flip the IP CE bit.
+	Marker func(frame []byte)
+	// FrameOverhead is added to each frame's wire size (preamble, FCS,
+	// inter-frame gap): 24 bytes on real Ethernet. Negative means 0.
+	FrameOverhead int
+}
+
+// EthernetOverhead is the per-frame wire overhead of Ethernet: 7-byte
+// preamble + SFD + 4-byte FCS + 12-byte inter-frame gap.
+const EthernetOverhead = 24
+
+func (c LinkConfig) queueBytes() int {
+	if c.QueueBytes > 0 {
+		return c.QueueBytes
+	}
+	bdp := int(float64(c.Rate) / 8 * c.Delay.Seconds())
+	if bdp < 64<<10 {
+		bdp = 64 << 10
+	}
+	return bdp
+}
+
+// LinkStats counts what a link did.
+type LinkStats struct {
+	TxFrames   uint64
+	TxBytes    uint64
+	LossDrops  uint64 // random (Bernoulli) corruption
+	QueueDrops uint64 // drop-tail overflow
+	ECNMarks   uint64
+	MaxQueue   int // high-water mark, bytes
+}
+
+// A Link is one unidirectional pipe: a drop-tail queue, a serializing
+// transmitter, a propagation delay, and Bernoulli loss.
+type Link struct {
+	clock sim.Clock
+	rng   *sim.RNG
+	cfg   LinkConfig
+	dst   Port
+
+	busyUntil sim.Time
+	queued    int // bytes committed to the transmitter, not yet sent
+	stats     LinkStats
+}
+
+// NewLink builds a link feeding dst. rng drives the loss process; pass a
+// scenario-seeded RNG for reproducibility.
+func NewLink(clock sim.Clock, rng *sim.RNG, cfg LinkConfig, dst Port) *Link {
+	if dst == nil {
+		panic("netsim: link with nil destination")
+	}
+	if cfg.FrameOverhead < 0 {
+		cfg.FrameOverhead = 0
+	}
+	return &Link{clock: clock, rng: rng, cfg: cfg, dst: dst}
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueuedBytes returns the current transmit-queue occupancy.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Send enqueues a frame for transmission. The link takes ownership of
+// the slice. Must be called from the clock's executor.
+func (l *Link) Send(frame []byte) {
+	wire := len(frame) + l.cfg.FrameOverhead
+	if l.queued+wire > l.cfg.queueBytes() {
+		l.stats.QueueDrops++
+		return
+	}
+	if l.cfg.ECNThresholdBytes > 0 && l.queued > l.cfg.ECNThresholdBytes && l.cfg.Marker != nil {
+		l.cfg.Marker(frame)
+		l.stats.ECNMarks++
+	}
+	l.queued += wire
+	if l.queued > l.stats.MaxQueue {
+		l.stats.MaxQueue = l.queued
+	}
+
+	now := l.clock.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	var tx time.Duration
+	if l.cfg.Rate > 0 {
+		tx = time.Duration(float64(wire*8) / float64(l.cfg.Rate) * float64(time.Second))
+	}
+	done := start.Add(tx)
+	l.busyUntil = done
+
+	lost := l.rng != nil && l.rng.Bernoulli(l.cfg.LossProb)
+	l.clock.AfterFunc(done.Sub(now), func() {
+		l.queued -= wire
+		if lost {
+			l.stats.LossDrops++
+			return
+		}
+		l.stats.TxFrames++
+		l.stats.TxBytes += uint64(wire)
+		if l.cfg.Delay > 0 {
+			l.clock.AfterFunc(l.cfg.Delay, func() { l.dst.Deliver(frame) })
+		} else {
+			l.dst.Deliver(frame)
+		}
+	})
+}
+
+// Deliver implements Port, so links can be chained behind switches.
+func (l *Link) Deliver(frame []byte) { l.Send(frame) }

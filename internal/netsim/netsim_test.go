@@ -1,0 +1,300 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/sim"
+)
+
+type collector struct {
+	frames [][]byte
+	at     []sim.Time
+	clock  sim.Clock
+}
+
+func (c *collector) Deliver(frame []byte) {
+	c.frames = append(c.frames, frame)
+	c.at = append(c.at, c.clock.Now())
+}
+
+func TestLinkDeliversInOrderWithDelay(t *testing.T) {
+	loop := sim.NewLoop()
+	dst := &collector{clock: loop}
+	// 8 Mbit/s → 1 byte/µs; 1000-byte frame serializes in 1 ms.
+	l := NewLink(loop, sim.NewRNG(1), LinkConfig{Rate: 8 * Mbps, Delay: 10 * time.Millisecond}, dst)
+	l.Send(make([]byte, 1000))
+	l.Send(make([]byte, 1000))
+	loop.Run()
+	if len(dst.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(dst.frames))
+	}
+	// First: 1 ms tx + 10 ms prop = 11 ms. Second: serialized behind the
+	// first, so 2 ms tx + 10 ms prop = 12 ms.
+	if dst.at[0] != sim.Time(11*time.Millisecond) {
+		t.Fatalf("first delivery at %v, want 11ms", dst.at[0])
+	}
+	if dst.at[1] != sim.Time(12*time.Millisecond) {
+		t.Fatalf("second delivery at %v, want 12ms", dst.at[1])
+	}
+}
+
+func TestLinkThroughputMatchesRate(t *testing.T) {
+	loop := sim.NewLoop()
+	dst := &collector{clock: loop}
+	cfg := LinkConfig{Rate: 100 * Mbps, QueueBytes: 1 << 30}
+	l := NewLink(loop, sim.NewRNG(1), cfg, dst)
+	const frames = 1000
+	const size = 1250 // 10 µs each at 100 Mbit/s
+	for i := 0; i < frames; i++ {
+		l.Send(make([]byte, size))
+	}
+	loop.Run()
+	if len(dst.frames) != frames {
+		t.Fatalf("delivered %d, want %d", len(dst.frames), frames)
+	}
+	elapsed := loop.Now().Duration().Seconds()
+	gotRate := float64(frames*size*8) / elapsed
+	if gotRate < 99e6 || gotRate > 101e6 {
+		t.Fatalf("achieved %.0f bit/s over a 100 Mbit/s link", gotRate)
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	loop := sim.NewLoop()
+	dst := &collector{clock: loop}
+	l := NewLink(loop, sim.NewRNG(1), LinkConfig{Rate: 1 * Mbps, QueueBytes: 3000}, dst)
+	for i := 0; i < 10; i++ {
+		l.Send(make([]byte, 1000))
+	}
+	loop.Run()
+	if len(dst.frames) != 3 {
+		t.Fatalf("delivered %d, want 3 (queue limit)", len(dst.frames))
+	}
+	if l.Stats().QueueDrops != 7 {
+		t.Fatalf("QueueDrops = %d, want 7", l.Stats().QueueDrops)
+	}
+}
+
+func TestLinkLossIsBernoulli(t *testing.T) {
+	loop := sim.NewLoop()
+	dst := &collector{clock: loop}
+	l := NewLink(loop, sim.NewRNG(7), LinkConfig{Rate: 1 * Gbps, LossProb: 0.2, QueueBytes: 1 << 30}, dst)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Send(make([]byte, 100))
+	}
+	loop.Run()
+	lossRate := float64(l.Stats().LossDrops) / n
+	if lossRate < 0.17 || lossRate > 0.23 {
+		t.Fatalf("empirical loss = %.3f, want ≈0.2", lossRate)
+	}
+	if len(dst.frames)+int(l.Stats().LossDrops) != n {
+		t.Fatal("frames neither delivered nor counted lost")
+	}
+}
+
+func TestLinkECNMarking(t *testing.T) {
+	loop := sim.NewLoop()
+	dst := &collector{clock: loop}
+	marked := 0
+	cfg := LinkConfig{
+		Rate: 1 * Mbps, QueueBytes: 1 << 20, ECNThresholdBytes: 2000,
+		Marker: func(frame []byte) { marked++; frame[0] = 0xCE },
+	}
+	l := NewLink(loop, sim.NewRNG(1), cfg, dst)
+	for i := 0; i < 10; i++ {
+		l.Send(make([]byte, 1000))
+	}
+	loop.Run()
+	if marked == 0 {
+		t.Fatal("no frames marked despite standing queue")
+	}
+	if uint64(marked) != l.Stats().ECNMarks {
+		t.Fatalf("marker ran %d times, stats say %d", marked, l.Stats().ECNMarks)
+	}
+	// Early frames (queue below threshold) must not be marked.
+	if dst.frames[0][0] == 0xCE {
+		t.Fatal("first frame marked below threshold")
+	}
+	if dst.frames[9][0] != 0xCE {
+		t.Fatal("deep-queue frame not marked")
+	}
+}
+
+func TestLinkFrameOverheadSlowsGoodput(t *testing.T) {
+	run := func(overhead int) sim.Time {
+		loop := sim.NewLoop()
+		dst := &collector{clock: loop}
+		l := NewLink(loop, sim.NewRNG(1), LinkConfig{Rate: 8 * Mbps, FrameOverhead: overhead, QueueBytes: 1 << 30}, dst)
+		for i := 0; i < 100; i++ {
+			l.Send(make([]byte, 1000))
+		}
+		loop.Run()
+		return loop.Now()
+	}
+	if run(EthernetOverhead) <= run(0) {
+		t.Fatal("frame overhead did not consume wire time")
+	}
+}
+
+func TestNICVFDemux(t *testing.T) {
+	loop := sim.NewLoop()
+	nic := NewNIC(loop, MAC{2, 0, 0, 0, 0, 1})
+	var pf, vf1, vf2 [][]byte
+	nic.SetHandler(func(f []byte) { pf = append(pf, f) })
+	v1 := nic.AddVF(MAC{2, 0, 0, 0, 0, 0x11})
+	v1.SetHandler(func(f []byte) { vf1 = append(vf1, f) })
+	v2 := nic.AddVF(MAC{2, 0, 0, 0, 0, 0x22})
+	v2.SetHandler(func(f []byte) { vf2 = append(vf2, f) })
+
+	frameTo := func(dst MAC) []byte {
+		f := make([]byte, 64)
+		copy(f, dst[:])
+		return f
+	}
+	nic.Deliver(frameTo(MAC{2, 0, 0, 0, 0, 0x11}))
+	nic.Deliver(frameTo(MAC{2, 0, 0, 0, 0, 0x22}))
+	nic.Deliver(frameTo(MAC{2, 0, 0, 0, 0, 1}))
+	nic.Deliver(frameTo(MAC{8, 9, 9, 9, 9, 9})) // unknown unicast → PF
+
+	if len(vf1) != 1 || len(vf2) != 1 {
+		t.Fatalf("VF demux: vf1=%d vf2=%d, want 1 each", len(vf1), len(vf2))
+	}
+	if len(pf) != 2 {
+		t.Fatalf("PF got %d frames, want 2 (own + unknown)", len(pf))
+	}
+}
+
+func TestNICBroadcastCopiesToAll(t *testing.T) {
+	loop := sim.NewLoop()
+	nic := NewNIC(loop, MAC{2, 0, 0, 0, 0, 1})
+	var got [][]byte
+	nic.SetHandler(func(f []byte) { got = append(got, f) })
+	v := nic.AddVF(MAC{2, 0, 0, 0, 0, 0x11})
+	v.SetHandler(func(f []byte) { got = append(got, f) })
+
+	f := make([]byte, 64)
+	copy(f, Broadcast[:])
+	nic.Deliver(f)
+	if len(got) != 2 {
+		t.Fatalf("broadcast reached %d functions, want 2", len(got))
+	}
+	// Copies must be independent: mutating one must not affect the other.
+	got[0][10] = 0xAA
+	if got[1][10] == 0xAA {
+		t.Fatal("broadcast recipients share one buffer")
+	}
+}
+
+func TestVFSendUsesSharedWire(t *testing.T) {
+	loop := sim.NewLoop()
+	nic := NewNIC(loop, MAC{2, 0, 0, 0, 0, 1})
+	var wire [][]byte
+	nic.AttachWire(PortFunc(func(f []byte) { wire = append(wire, f) }))
+	v := nic.AddVF(MAC{2, 0, 0, 0, 0, 0x11})
+	v.Send(make([]byte, 64))
+	nic.Send(make([]byte, 64))
+	if len(wire) != 2 {
+		t.Fatalf("wire saw %d frames, want 2", len(wire))
+	}
+}
+
+func TestCPUFIFOPerCore(t *testing.T) {
+	loop := sim.NewLoop()
+	cpu := NewCPU(loop, 2)
+	var done []string
+	cpu.Dispatch(0, 10*time.Microsecond, func() { done = append(done, "a") })
+	cpu.Dispatch(0, 10*time.Microsecond, func() { done = append(done, "b") })
+	cpu.Dispatch(1, 5*time.Microsecond, func() { done = append(done, "c") })
+	loop.Run()
+	if len(done) != 3 {
+		t.Fatalf("completed %d jobs", len(done))
+	}
+	// Core 1 is idle, so "c" finishes first despite being dispatched last.
+	if done[0] != "c" || done[1] != "a" || done[2] != "b" {
+		t.Fatalf("completion order %v", done)
+	}
+	if loop.Now() != sim.Time(20*time.Microsecond) {
+		t.Fatalf("finished at %v, want 20µs", loop.Now())
+	}
+}
+
+func TestCPUBusyAccounting(t *testing.T) {
+	loop := sim.NewLoop()
+	cpu := NewCPU(loop, 4)
+	for i := 0; i < 8; i++ {
+		cpu.Dispatch(i, time.Millisecond, nil)
+	}
+	loop.RunFor(4 * time.Millisecond)
+	if cpu.TotalBusy() != 8*time.Millisecond {
+		t.Fatalf("TotalBusy = %v", cpu.TotalBusy())
+	}
+	if cpu.BusyTime(0) != 2*time.Millisecond {
+		t.Fatalf("core 0 busy = %v (two wrapped dispatches)", cpu.BusyTime(0))
+	}
+	if cpu.Jobs() != 8 {
+		t.Fatalf("Jobs = %d", cpu.Jobs())
+	}
+	// 8 ms busy over 4 cores × 4 ms elapsed = 50%.
+	if u := cpu.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+}
+
+func TestCPUCoreWrap(t *testing.T) {
+	loop := sim.NewLoop()
+	cpu := NewCPU(loop, 3)
+	cpu.Dispatch(7, time.Millisecond, nil) // 7%3 == core 1
+	if cpu.BusyTime(1) != time.Millisecond {
+		t.Fatal("core index did not wrap")
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	loop := sim.NewLoop()
+	a := &collector{clock: loop}
+	b := &collector{clock: loop}
+	ab, ba := Duplex(loop, sim.NewRNG(1), LinkConfig{Rate: 1 * Gbps, Delay: time.Millisecond}, a, b)
+	ab.Send(make([]byte, 100))
+	ba.Send(make([]byte, 100))
+	loop.Run()
+	if len(a.frames) != 1 || len(b.frames) != 1 {
+		t.Fatalf("duplex delivery a=%d b=%d", len(a.frames), len(b.frames))
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	tb := Testbed40G()
+	if tb.Rate != 40*Gbps {
+		t.Fatal("testbed profile is not 40GbE")
+	}
+	wan := WANPath(0.005)
+	if wan.Delay != 175*time.Millisecond || wan.LossProb != 0.005 {
+		t.Fatalf("WAN profile %+v", wan)
+	}
+}
+
+func TestBitsPerSecString(t *testing.T) {
+	cases := map[BitsPerSec]string{
+		40 * Gbps:      "40.00Gbit/s",
+		12 * Mbps:      "12.00Mbit/s",
+		64 * Kbps:      "64.00Kbit/s",
+		BitsPerSec(12): "12bit/s",
+	}
+	for in, want := range cases {
+		if in.String() != want {
+			t.Errorf("%v.String() = %q, want %q", float64(in), in.String(), want)
+		}
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0xab, 0, 1, 2, 3}
+	if m.String() != "02:ab:00:01:02:03" {
+		t.Fatalf("MAC String = %q", m.String())
+	}
+	if !Broadcast.IsBroadcast() || m.IsBroadcast() {
+		t.Fatal("broadcast detection broken")
+	}
+}

@@ -1,0 +1,43 @@
+package netsim
+
+import (
+	"time"
+
+	"netkernel/internal/sim"
+)
+
+// Testbed40G reproduces the paper's testbed fabric (§4.1): two servers
+// joined by Intel X710 40 GbE NICs. With standard 1500-byte MTU frames
+// the achievable TCP goodput is ~37 Gbit/s, the line rate Figure 4
+// reports.
+func Testbed40G() LinkConfig {
+	return LinkConfig{
+		Rate:          40 * Gbps,
+		Delay:         5 * time.Microsecond, // back-to-back in one rack
+		QueueBytes:    4 << 20,
+		FrameOverhead: EthernetOverhead,
+	}
+}
+
+// WANPath reproduces the §4.3 flexibility experiment's Internet path:
+// server in Beijing, client in California, 12 Mbit/s uplink, 350 ms
+// average RTT. Random loss is not published; lossProb is the calibration
+// knob (see EXPERIMENTS.md) that separates loss-based CUBIC from
+// model-based BBR.
+func WANPath(lossProb float64) LinkConfig {
+	return LinkConfig{
+		Rate:          12 * Mbps,
+		Delay:         175 * time.Millisecond, // 350 ms RTT
+		LossProb:      lossProb,
+		QueueBytes:    128 << 10, // ~¼ BDP: a shallow intercontinental queue
+		FrameOverhead: EthernetOverhead,
+	}
+}
+
+// Duplex joins two ports with a symmetric pair of links and returns
+// both directions (a→b, b→a).
+func Duplex(clock sim.Clock, rng *sim.RNG, cfg LinkConfig, a, b Port) (ab, ba *Link) {
+	ab = NewLink(clock, rng, cfg, b)
+	ba = NewLink(clock, rng, cfg, a)
+	return ab, ba
+}

@@ -1,0 +1,88 @@
+// Package nkchan defines the shared-memory channel between one tenant
+// VM and its Network Stack Module: the six queues of Figure 3 (job,
+// completion, and receive queues on each side) plus the huge-page data
+// region. GuestLib owns the VM side, ServiceLib the NSM side, and the
+// CoreEngine shuttles nqes between them.
+package nkchan
+
+import (
+	"netkernel/internal/nkqueue"
+	"netkernel/internal/shm"
+)
+
+// Config shapes a channel.
+type Config struct {
+	// Queue configures the six rings.
+	Queue nkqueue.Config
+	// HugePages is the page count of the data region (default 40, the
+	// prototype's allocation).
+	HugePages int
+	// ChunkSize is the data-chunk granularity (default 8 KB, the chunk
+	// size of Figure 4's caption).
+	ChunkSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.HugePages <= 0 {
+		c.HugePages = shm.DefaultPageCount
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8 << 10
+	}
+}
+
+// QueueKind selects an NSM-side output queue for emission.
+type QueueKind int
+
+// Queue kinds.
+const (
+	// Completion answers a specific job (correlated by Seq).
+	Completion QueueKind = iota
+	// Receive carries asynchronous events.
+	Receive
+)
+
+// Pair is the full VM↔NSM channel.
+type Pair struct {
+	// VM-side queues: the VM produces jobs and consumes completions
+	// and receive events.
+	VMJob, VMCompletion, VMReceive nkqueue.Q
+	// NSM-side queues: the NSM consumes jobs and produces completions
+	// and receive events.
+	NSMJob, NSMCompletion, NSMReceive nkqueue.Q
+	// Pages is the shared data region, unique per pair (§3.1
+	// isolation).
+	Pages *shm.HugePages
+
+	// Kicks are notification hooks wired by the owners. Each models a
+	// doorbell/batched interrupt in the paper's design.
+	KickEngineVM  func() // GuestLib → CoreEngine: VM job queue has work
+	KickEngineNSM func() // ServiceLib → CoreEngine: NSM completion/receive queues have work
+	KickNSM       func() // CoreEngine → ServiceLib: NSM job queue has work
+	KickVM        func() // CoreEngine → GuestLib: VM completion/receive queues have work
+}
+
+// NewPair allocates the queues and data region.
+func NewPair(cfg Config) (*Pair, error) {
+	cfg.fillDefaults()
+	vm, err := nkqueue.NewSet(cfg.Queue)
+	if err != nil {
+		return nil, err
+	}
+	nsm, err := nkqueue.NewSet(cfg.Queue)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := shm.NewHugePages(cfg.HugePages, cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{
+		VMJob: vm.Job, VMCompletion: vm.Completion, VMReceive: vm.Receive,
+		NSMJob: nsm.Job, NSMCompletion: nsm.Completion, NSMReceive: nsm.Receive,
+		Pages: pages,
+	}, nil
+}
+
+// ChunkSize returns the data-chunk granularity.
+func (p *Pair) ChunkSize() int { return p.Pages.ChunkSize() }

@@ -1,0 +1,190 @@
+package nkqueue
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/nqe"
+	"netkernel/internal/shm"
+)
+
+func TestQueuePushPop(t *testing.T) {
+	q, err := NewQueue(Config{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: 1, FD: 5, Seq: 99, DataLen: 1448}
+	if !q.Push(&in) {
+		t.Fatal("push failed")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	var out nqe.Element
+	if !q.Pop(&out) {
+		t.Fatal("pop failed")
+	}
+	if out != in {
+		t.Fatalf("pop = %+v, want %+v", out, in)
+	}
+	if q.Pop(&out) {
+		t.Fatal("pop succeeded on empty queue")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 2})
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	if !q.Push(&e) || !q.Push(&e) {
+		t.Fatal("push failed below capacity")
+	}
+	if q.Push(&e) {
+		t.Fatal("push succeeded beyond capacity")
+	}
+}
+
+func TestQueuePopBatch(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 16})
+	for i := 0; i < 10; i++ {
+		e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: uint64(i)}
+		q.Push(&e)
+	}
+	batch := make([]nqe.Element, 4)
+	if n := q.PopBatch(batch); n != 4 {
+		t.Fatalf("first batch = %d, want 4", n)
+	}
+	for i, e := range batch {
+		if e.Seq != uint64(i) {
+			t.Fatalf("batch[%d].Seq = %d", i, e.Seq)
+		}
+	}
+	rest := make([]nqe.Element, 16)
+	if n := q.PopBatch(rest); n != 6 {
+		t.Fatalf("second batch = %d, want 6", n)
+	}
+}
+
+func TestMoveIsVerbatim(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 8})
+	dst, _ := NewQueue(Config{Slots: 8})
+	in := nqe.Element{Op: nqe.OpConnect, Source: nqe.FromVM, VMID: 7, FD: 3, Seq: 123, Arg0: nqe.PackAddr([4]byte{10, 0, 0, 2}, 80)}
+	src.Push(&in)
+	if !Move(dst, src) {
+		t.Fatal("move failed")
+	}
+	if src.Len() != 0 || dst.Len() != 1 {
+		t.Fatalf("lens after move: src=%d dst=%d", src.Len(), dst.Len())
+	}
+	var out nqe.Element
+	dst.Pop(&out)
+	if out != in {
+		t.Fatalf("moved element mutated: %+v vs %+v", out, in)
+	}
+}
+
+func TestMoveEdgeCases(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 2})
+	dst, _ := NewQueue(Config{Slots: 2})
+	if Move(dst, src) {
+		t.Fatal("move from empty queue succeeded")
+	}
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	src.Push(&e)
+	dst.Push(&e)
+	dst.Push(&e) // dst now full
+	if Move(dst, src) {
+		t.Fatal("move into full queue succeeded")
+	}
+	if src.Len() != 1 {
+		t.Fatal("failed move consumed the source element")
+	}
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	p, err := NewPriorityQueue(Config{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: bulk data first, then a connection event.
+	data := nqe.Element{Op: nqe.OpNewData, Source: nqe.FromNSM, Seq: 1}
+	conn := nqe.Element{Op: nqe.OpNewConn, Source: nqe.FromNSM, Seq: 2}
+	p.Push(&data)
+	p.Push(&data)
+	p.Push(&conn)
+	var e nqe.Element
+	if !p.Pop(&e) || e.Op != nqe.OpNewConn {
+		t.Fatalf("first pop = %v, want the connection event (HoL avoidance)", e.Op)
+	}
+	if !p.Pop(&e) || e.Op != nqe.OpNewData {
+		t.Fatalf("second pop = %v, want data", e.Op)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestPriorityQueueDataFloodDoesNotBlockConn(t *testing.T) {
+	p, _ := NewPriorityQueue(Config{Slots: 4})
+	data := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	for p.Push(&data) {
+	}
+	// Data ring is full, but a connection event still gets through.
+	conn := nqe.Element{Op: nqe.OpConnect, Source: nqe.FromVM}
+	if !p.Push(&conn) {
+		t.Fatal("connection event blocked behind full data ring")
+	}
+	var e nqe.Element
+	if !p.Pop(&e) || e.Op != nqe.OpConnect {
+		t.Fatal("connection event not delivered first")
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	for _, priority := range []bool{false, true} {
+		s, err := NewSet(Config{Slots: 8, Priority: priority})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, q := range map[string]Q{"job": s.Job, "completion": s.Completion, "receive": s.Receive} {
+			e := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromVM, Seq: 7}
+			if !q.Push(&e) {
+				t.Fatalf("%s (priority=%v): push failed", name, priority)
+			}
+			var out nqe.Element
+			if !q.Pop(&out) || out.Seq != 7 {
+				t.Fatalf("%s (priority=%v): pop = %+v", name, priority, out)
+			}
+		}
+	}
+}
+
+func TestNewQueueRejectsBadSlots(t *testing.T) {
+	if _, err := NewQueue(Config{Slots: 3}); err == nil {
+		t.Fatal("non-power-of-two slot count accepted")
+	}
+	if _, err := NewPriorityQueue(Config{Slots: 3}); err == nil {
+		t.Fatal("non-power-of-two slot count accepted by priority queue")
+	}
+	if _, err := NewSet(Config{Slots: 3}); err == nil {
+		t.Fatal("non-power-of-two slot count accepted by set")
+	}
+}
+
+func TestQueueDoorbellIntegration(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 8, Mode: shm.BatchedInterrupt, Batch: 2})
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	q.Push(&e)
+	if q.Doorbell().Wait(5 * time.Millisecond) {
+		t.Fatal("doorbell fired before the batch filled")
+	}
+	q.Push(&e) // second push completes the batch of 2
+	if !q.Doorbell().Wait(time.Second) {
+		t.Fatal("doorbell did not fire after batch")
+	}
+	// Flush on a partial batch also wakes the consumer.
+	q.Push(&e)
+	q.Flush()
+	if !q.Doorbell().Wait(time.Second) {
+		t.Fatal("Flush did not fire the doorbell")
+	}
+}

@@ -1,0 +1,76 @@
+// Package ethernet implements Ethernet II framing for the simulated
+// fabric.
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderLen is the Ethernet II header size (no VLAN tag).
+const HeaderLen = 14
+
+// MTU is the standard Ethernet payload limit.
+const MTU = 1500
+
+// MAC is a hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address has the group bit set.
+func (m MAC) IsBroadcast() bool { return m[0]&1 == 1 }
+
+// EtherType identifies the payload protocol.
+type EtherType uint16
+
+// EtherTypes used by the stack.
+const (
+	TypeIPv4 EtherType = 0x0800
+	TypeARP  EtherType = 0x0806
+)
+
+func (t EtherType) String() string {
+	switch t {
+	case TypeIPv4:
+		return "IPv4"
+	case TypeARP:
+		return "ARP"
+	default:
+		return fmt.Sprintf("0x%04x", uint16(t))
+	}
+}
+
+// Header is a decoded Ethernet II header.
+type Header struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// Marshal writes the header into b, which must be at least HeaderLen
+// bytes.
+func (h *Header) Marshal(b []byte) {
+	_ = b[HeaderLen-1]
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(h.Type))
+}
+
+// Parse decodes the header from frame and returns the payload, which
+// aliases frame.
+func Parse(frame []byte) (Header, []byte, error) {
+	if len(frame) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("ethernet: frame of %d bytes shorter than header", len(frame))
+	}
+	var h Header
+	copy(h.Dst[:], frame[0:6])
+	copy(h.Src[:], frame[6:12])
+	h.Type = EtherType(binary.BigEndian.Uint16(frame[12:14]))
+	return h, frame[HeaderLen:], nil
+}

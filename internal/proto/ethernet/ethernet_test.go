@@ -1,0 +1,82 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	h := Header{
+		Dst:  MAC{2, 0, 0, 0, 0, 1},
+		Src:  MAC{2, 0, 0, 0, 0, 2},
+		Type: TypeIPv4,
+	}
+	payload := []byte("payload bytes")
+	frame := make([]byte, HeaderLen+len(payload))
+	h.Marshal(frame)
+	copy(frame[HeaderLen:], payload)
+
+	got, pl, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatalf("payload = %q", pl)
+	}
+}
+
+func TestParseShortFrame(t *testing.T) {
+	if _, _, err := Parse(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	err := quick.Check(func(dst, src [6]byte, typ uint16) bool {
+		h := Header{Dst: MAC(dst), Src: MAC(src), Type: EtherType(typ)}
+		b := make([]byte, HeaderLen)
+		h.Marshal(b)
+		got, _, err := Parse(b)
+		return err == nil && got == h
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadAliasesFrame(t *testing.T) {
+	frame := make([]byte, HeaderLen+4)
+	_, pl, _ := Parse(frame)
+	pl[0] = 0x5a
+	if frame[HeaderLen] != 0x5a {
+		t.Fatal("payload does not alias the frame (zero-copy contract)")
+	}
+}
+
+func TestBroadcastClassification(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not classified as broadcast")
+	}
+	if (MAC{2, 0, 0, 0, 0, 1}).IsBroadcast() {
+		t.Fatal("unicast classified as broadcast")
+	}
+	if !(MAC{0x01, 0, 0x5e, 0, 0, 1}).IsBroadcast() {
+		t.Fatal("multicast not classified as group-addressed")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if TypeIPv4.String() != "IPv4" || TypeARP.String() != "ARP" {
+		t.Fatal("known EtherType names broken")
+	}
+	if EtherType(0x86dd).String() != "0x86dd" {
+		t.Fatal("unknown EtherType formatting broken")
+	}
+	if (MAC{0xde, 0xad, 0xbe, 0xef, 0, 1}).String() != "de:ad:be:ef:00:01" {
+		t.Fatal("MAC formatting broken")
+	}
+}

@@ -1,0 +1,120 @@
+// Package icmp implements the ICMPv4 messages the stack uses: echo
+// (ping, which powers the pingmesh-style failure detector in
+// internal/mgmt), destination unreachable, and time exceeded.
+package icmp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netkernel/internal/proto/inet"
+)
+
+// HeaderLen is the fixed ICMP header size.
+const HeaderLen = 8
+
+// Type is the ICMP message type.
+type Type uint8
+
+// Message types.
+const (
+	TypeEchoReply       Type = 0
+	TypeDestUnreachable Type = 3
+	TypeEchoRequest     Type = 8
+	TypeTimeExceeded    Type = 11
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeEchoReply:
+		return "echo-reply"
+	case TypeDestUnreachable:
+		return "dest-unreachable"
+	case TypeEchoRequest:
+		return "echo-request"
+	case TypeTimeExceeded:
+		return "time-exceeded"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Destination-unreachable codes.
+const (
+	CodeNetUnreachable  = 0
+	CodeHostUnreachable = 1
+	CodePortUnreachable = 3
+)
+
+// Message is a decoded ICMP message. For echo messages ID and Seq are
+// meaningful; for errors Body carries the embedded offending datagram.
+type Message struct {
+	Type Type
+	Code uint8
+	ID   uint16 // echo only
+	Seq  uint16 // echo only
+	Body []byte
+}
+
+// Marshal serializes the message, computing the checksum.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(m.Body))
+	b[0] = byte(m.Type)
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[HeaderLen:], m.Body)
+	binary.BigEndian.PutUint16(b[2:], inet.Checksum(b, 0))
+	return b
+}
+
+// Parse decodes and validates a message. Body aliases b.
+func Parse(b []byte) (Message, error) {
+	if len(b) < HeaderLen {
+		return Message{}, fmt.Errorf("icmp: message of %d bytes shorter than header", len(b))
+	}
+	if !inet.Verify(b, 0) {
+		return Message{}, fmt.Errorf("icmp: checksum mismatch")
+	}
+	return Message{
+		Type: Type(b[0]),
+		Code: b[1],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+		Body: b[HeaderLen:],
+	}, nil
+}
+
+// EchoRequest builds an echo request carrying payload.
+func EchoRequest(id, seq uint16, payload []byte) []byte {
+	m := Message{Type: TypeEchoRequest, ID: id, Seq: seq, Body: payload}
+	return m.Marshal()
+}
+
+// EchoReply builds the reply to a request message.
+func EchoReply(req Message) []byte {
+	m := Message{Type: TypeEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
+	return m.Marshal()
+}
+
+// DestUnreachable builds a destination-unreachable error embedding the
+// start of the offending datagram (IP header + 8 bytes, per RFC 792).
+func DestUnreachable(code uint8, original []byte) []byte {
+	n := len(original)
+	if n > 28 {
+		n = 28
+	}
+	m := Message{Type: TypeDestUnreachable, Code: code, Body: original[:n]}
+	return m.Marshal()
+}
+
+// TimeExceeded builds a TTL-expired error embedding the offending
+// datagram prefix.
+func TimeExceeded(original []byte) []byte {
+	n := len(original)
+	if n > 28 {
+		n = 28
+	}
+	m := Message{Type: TypeTimeExceeded, Body: original[:n]}
+	return m.Marshal()
+}

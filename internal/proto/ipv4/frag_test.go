@@ -1,0 +1,176 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netkernel/internal/sim"
+)
+
+func TestFragmentSmallPacketPassesThrough(t *testing.T) {
+	h := sampleHeader()
+	payload := make([]byte, 100)
+	frags, err := Fragment(h, payload, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("got %d fragments, want 1", len(frags))
+	}
+	got, pl, err := Parse(frags[0])
+	if err != nil || got.Flags&FlagMoreFrags != 0 || len(pl) != 100 {
+		t.Fatalf("pass-through broken: %+v, %d bytes, %v", got, len(pl), err)
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	h := sampleHeader()
+	payload := make([]byte, 4000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frags, err := Fragment(h, payload, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	r := NewReassembler(0)
+	var full []byte
+	var done bool
+	for i, f := range frags {
+		fh, pl, err := Parse(f)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if len(pl)%8 != 0 && fh.Flags&FlagMoreFrags != 0 {
+			t.Fatalf("non-final fragment %d has %d payload bytes (not 8-aligned)", i, len(pl))
+		}
+		full, done = r.Add(fh, pl, 0)
+	}
+	if !done {
+		t.Fatal("datagram never completed")
+	}
+	if !bytes.Equal(full, payload) {
+		t.Fatal("reassembled payload differs")
+	}
+	if r.Pending() != 0 {
+		t.Fatal("completed datagram still pending")
+	}
+}
+
+func TestReassembleOutOfOrderAndDuplicates(t *testing.T) {
+	h := sampleHeader()
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	frags, _ := Fragment(h, payload, 576)
+	r := NewReassembler(0)
+	order := sim.NewRNG(3).Perm(len(frags))
+	var full []byte
+	var done bool
+	for _, idx := range order {
+		fh, pl, _ := Parse(frags[idx])
+		full, done = r.Add(fh, pl, 0)
+		// Feed a duplicate too; must be harmless.
+		fh2, pl2, _ := Parse(frags[idx])
+		if f2, d2 := r.Add(fh2, pl2, 0); d2 {
+			full, done = f2, d2
+		}
+	}
+	if !done || !bytes.Equal(full, payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestFragmentRespectsDF(t *testing.T) {
+	h := sampleHeader()
+	h.Flags = FlagDontFragment
+	if _, err := Fragment(h, make([]byte, 3000), 1500); err == nil {
+		t.Fatal("DF datagram fragmented")
+	}
+	if _, err := Fragment(h, make([]byte, 100), 1500); err != nil {
+		t.Fatalf("DF datagram that fits rejected: %v", err)
+	}
+}
+
+func TestFragmentTinyMTU(t *testing.T) {
+	if _, err := Fragment(sampleHeader(), make([]byte, 100), HeaderLen+4); err == nil {
+		t.Fatal("unusable MTU accepted")
+	}
+}
+
+func TestReassemblerTimeout(t *testing.T) {
+	h := sampleHeader()
+	frags, _ := Fragment(h, make([]byte, 4000), 1500)
+	r := NewReassembler(time.Second)
+	fh, pl, _ := Parse(frags[0])
+	if _, done := r.Add(fh, pl, 0); done {
+		t.Fatal("incomplete datagram reported done")
+	}
+	if n := r.Sweep(sim.Time(500 * time.Millisecond)); n != 0 {
+		t.Fatal("swept a live datagram")
+	}
+	if n := r.Sweep(sim.Time(2 * time.Second)); n != 1 {
+		t.Fatalf("Sweep dropped %d, want 1", n)
+	}
+	if r.Pending() != 0 {
+		t.Fatal("expired datagram still pending")
+	}
+}
+
+// Property: fragmentation followed by reassembly is the identity for any
+// payload and any workable MTU.
+func TestQuickFragmentReassemble(t *testing.T) {
+	err := quick.Check(func(seed uint64, sizeSel uint16, mtuSel uint8) bool {
+		size := int(sizeSel)%8000 + 1
+		mtu := HeaderLen + 8 + int(mtuSel)%1400
+		rng := sim.NewRNG(seed)
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		frags, err := Fragment(sampleHeader(), payload, mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler(0)
+		for i, f := range frags {
+			fh, pl, err := Parse(f)
+			if err != nil {
+				return false
+			}
+			full, done := r.Add(fh, pl, 0)
+			if done {
+				return i == len(frags)-1 && bytes.Equal(full, payload)
+			}
+		}
+		return false
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerKeysAreIndependent(t *testing.T) {
+	// Same ID from two different sources must not merge.
+	h1 := sampleHeader()
+	h2 := sampleHeader()
+	h2.Src = Addr{10, 0, 0, 9}
+	f1, _ := Fragment(h1, bytes.Repeat([]byte{1}, 3000), 1500)
+	f2, _ := Fragment(h2, bytes.Repeat([]byte{2}, 3000), 1500)
+	r := NewReassembler(0)
+	fh, pl, _ := Parse(f1[0])
+	r.Add(fh, pl, 0)
+	fh2, pl2, _ := Parse(f2[1])
+	if _, done := r.Add(fh2, pl2, 0); done {
+		t.Fatal("fragments from different sources merged")
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 distinct keys", r.Pending())
+	}
+}

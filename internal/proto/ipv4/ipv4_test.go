@@ -1,0 +1,146 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleHeader() Header {
+	return Header{
+		TOS:      ECNECT0,
+		TotalLen: HeaderLen + 100,
+		ID:       0x1234,
+		TTL:      64,
+		Proto:    ProtoTCP,
+		Src:      Addr{10, 0, 0, 1},
+		Dst:      Addr{10, 0, 0, 2},
+	}
+}
+
+func marshalPacket(h Header, payload []byte) []byte {
+	h.TotalLen = uint16(HeaderLen + len(payload))
+	pkt := make([]byte, h.TotalLen)
+	h.Marshal(pkt)
+	copy(pkt[HeaderLen:], payload)
+	return pkt
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	pkt := marshalPacket(sampleHeader(), payload)
+	h, pl, err := Parse(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleHeader()
+	if h != want {
+		t.Fatalf("header = %+v, want %+v", h, want)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestParseRejectsCorruptChecksum(t *testing.T) {
+	pkt := marshalPacket(sampleHeader(), make([]byte, 10))
+	pkt[15] ^= 1 // flip a bit in Src
+	if _, _, err := Parse(pkt); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+}
+
+func TestParseRejectsShortAndBadVersion(t *testing.T) {
+	if _, _, err := Parse(make([]byte, 19)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	pkt := marshalPacket(sampleHeader(), nil)
+	pkt[0] = 6<<4 | 5
+	if _, _, err := Parse(pkt); err == nil {
+		t.Fatal("IPv6 version accepted")
+	}
+}
+
+func TestParseTruncatesToTotalLen(t *testing.T) {
+	pkt := marshalPacket(sampleHeader(), []byte("hello"))
+	padded := append(pkt, make([]byte, 26)...) // Ethernet min-frame padding
+	_, pl, err := Parse(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pl) != "hello" {
+		t.Fatalf("payload = %q, want trailing padding stripped", pl)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	err := quick.Check(func(tos, ttl, proto uint8, id uint16, src, dst [4]byte, n uint8) bool {
+		h := Header{TOS: tos, ID: id, TTL: ttl, Proto: proto, Src: src, Dst: dst}
+		pkt := marshalPacket(h, make([]byte, int(n)))
+		got, pl, err := Parse(pkt)
+		if err != nil {
+			return false
+		}
+		h.TotalLen = uint16(HeaderLen + int(n))
+		return got == h && len(pl) == int(n)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCEInPlace(t *testing.T) {
+	pkt := marshalPacket(sampleHeader(), make([]byte, 8)) // ECT(0)
+	if !SetCEInPlace(pkt) {
+		t.Fatal("marking an ECT packet failed")
+	}
+	h, _, err := Parse(pkt)
+	if err != nil {
+		t.Fatalf("checksum broken after incremental update: %v", err)
+	}
+	if h.ECN() != ECNCE {
+		t.Fatalf("ECN = %d, want CE", h.ECN())
+	}
+	// Marking again is idempotent and still reports CE.
+	if !SetCEInPlace(pkt) {
+		t.Fatal("re-marking a CE packet reported failure")
+	}
+}
+
+func TestSetCERefusesNotECT(t *testing.T) {
+	h := sampleHeader()
+	h.TOS = 0 // NotECT
+	pkt := marshalPacket(h, make([]byte, 8))
+	if SetCEInPlace(pkt) {
+		t.Fatal("marked a NotECT packet")
+	}
+	got, _, err := Parse(pkt)
+	if err != nil || got.ECN() != ECNNotECT {
+		t.Fatal("NotECT packet was modified")
+	}
+}
+
+func TestMustParseAddr(t *testing.T) {
+	if MustParseAddr("192.168.1.200") != (Addr{192, 168, 1, 200}) {
+		t.Fatal("parse broken")
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MustParseAddr(%q) did not panic", bad)
+				}
+			}()
+			MustParseAddr(bad)
+		}()
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if (Addr{10, 0, 0, 1}).String() != "10.0.0.1" {
+		t.Fatal("Addr String broken")
+	}
+	if !(Addr{}).IsZero() || (Addr{1}).IsZero() {
+		t.Fatal("IsZero broken")
+	}
+}

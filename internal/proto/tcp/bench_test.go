@@ -1,0 +1,43 @@
+package tcp
+
+import (
+	"testing"
+
+	"netkernel/internal/proto/ipv4"
+)
+
+func BenchmarkSegmentMarshal(b *testing.B) {
+	h := Header{SrcPort: 40000, DstPort: 80, Seq: 1000, Ack: 2000, Flags: FlagACK | FlagPSH, Window: 65535}
+	payload := make([]byte, 1448)
+	src, dst := ipv4.Addr{10, 0, 0, 1}, ipv4.Addr{10, 0, 0, 2}
+	buf := make([]byte, h.Len()+len(payload))
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MarshalInto(src, dst, buf, payload)
+	}
+}
+
+func BenchmarkSegmentParse(b *testing.B) {
+	h := Header{SrcPort: 40000, DstPort: 80, Seq: 1000, Ack: 2000, Flags: FlagACK, Window: 65535}
+	src, dst := ipv4.Addr{10, 0, 0, 1}, ipv4.Addr{10, 0, 0, 2}
+	seg := h.Marshal(src, dst, make([]byte, 1448))
+	b.SetBytes(int64(len(seg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Parse(src, dst, seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkByteRingWriteRead(b *testing.B) {
+	r := newByteRing(1 << 20)
+	chunk := make([]byte, 1448)
+	b.SetBytes(1448)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Write(chunk)
+		r.Read(chunk)
+	}
+}

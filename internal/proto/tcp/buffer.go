@@ -1,0 +1,74 @@
+package tcp
+
+// byteRing is a bounded FIFO of bytes used for the send and receive
+// buffers. It supports reading from an offset without consuming, which
+// the send path uses to (re)transmit unacknowledged data.
+type byteRing struct {
+	buf   []byte
+	start int // index of the first byte
+	n     int // occupied bytes
+}
+
+func newByteRing(capacity int) *byteRing {
+	if capacity <= 0 {
+		panic("tcp: non-positive buffer capacity")
+	}
+	return &byteRing{buf: make([]byte, capacity)}
+}
+
+func (r *byteRing) Cap() int    { return len(r.buf) }
+func (r *byteRing) Len() int    { return r.n }
+func (r *byteRing) Free() int   { return len(r.buf) - r.n }
+func (r *byteRing) Empty() bool { return r.n == 0 }
+
+// Write appends as much of p as fits, returning the number of bytes
+// accepted.
+func (r *byteRing) Write(p []byte) int {
+	w := len(p)
+	if w > r.Free() {
+		w = r.Free()
+	}
+	end := (r.start + r.n) % len(r.buf)
+	first := copy(r.buf[end:], p[:w])
+	if first < w {
+		copy(r.buf, p[first:w])
+	}
+	r.n += w
+	return w
+}
+
+// Peek copies up to len(p) bytes starting at offset off (without
+// consuming) and returns the number copied.
+func (r *byteRing) Peek(p []byte, off int) int {
+	if off < 0 || off >= r.n {
+		return 0
+	}
+	w := len(p)
+	if w > r.n-off {
+		w = r.n - off
+	}
+	pos := (r.start + off) % len(r.buf)
+	first := copy(p[:w], r.buf[pos:])
+	if first < w {
+		copy(p[first:w], r.buf)
+	}
+	return w
+}
+
+// Discard consumes n bytes from the front, returning how many were
+// actually consumed.
+func (r *byteRing) Discard(n int) int {
+	if n > r.n {
+		n = r.n
+	}
+	r.start = (r.start + n) % len(r.buf)
+	r.n -= n
+	return n
+}
+
+// Read consumes up to len(p) bytes into p.
+func (r *byteRing) Read(p []byte) int {
+	n := r.Peek(p, 0)
+	r.Discard(n)
+	return n
+}

@@ -1,0 +1,842 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/sim"
+	"netkernel/internal/tcpcc"
+)
+
+// State is a TCP connection state (RFC 793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+func (s State) String() string {
+	return [...]string{
+		"closed", "syn-sent", "syn-rcvd", "established", "fin-wait-1",
+		"fin-wait-2", "close-wait", "closing", "last-ack", "time-wait",
+	}[s]
+}
+
+// AddrPort is one endpoint of a connection.
+type AddrPort struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+func (a AddrPort) String() string { return fmt.Sprintf("%v:%d", a.Addr, a.Port) }
+
+// OutputFunc transmits one segment. The connection fills in ports,
+// sequence numbers and options; the caller (the stack) wraps it in
+// IP + Ethernet and hands it to the NIC. ecnCapable asks for ECT(0)
+// marking on the IP header.
+type OutputFunc func(h *Header, payload []byte, ecnCapable bool)
+
+// Config parameterizes a connection.
+type Config struct {
+	Clock sim.Clock
+	RNG   *sim.RNG
+
+	Local, Remote AddrPort
+
+	// MSS is the maximum segment payload. Defaults to 1460.
+	MSS int
+	// SendBufSize and RecvBufSize bound the buffers. Default 1 MiB.
+	SendBufSize, RecvBufSize int
+	// CC is the connection's congestion control; required.
+	CC tcpcc.Algorithm
+	// MinRTO floors the retransmission timeout (default 200 ms, like
+	// Linux; benchmarks on microsecond-RTT fabrics lower it).
+	MinRTO time.Duration
+	// MSL is the maximum segment lifetime; TIME_WAIT lasts 2·MSL
+	// (default 1 s, scaled down from the traditional 2 min for
+	// simulation practicality).
+	MSL time.Duration
+	// DelayedAckTimeout bounds ack delay (default 40 ms).
+	DelayedAckTimeout time.Duration
+	// Nagle enables RFC 896 coalescing of small segments.
+	Nagle bool
+
+	// Output transmits segments; required.
+	Output OutputFunc
+
+	// OnEstablished fires once when the handshake completes or fails.
+	OnEstablished func(err error)
+	// OnReadable fires when data (or EOF) becomes available.
+	OnReadable func()
+	// OnWritable fires when send-buffer space frees after Write
+	// returned short.
+	OnWritable func()
+	// OnClose fires once when the connection fully terminates; err is
+	// nil for a clean close.
+	OnClose func(err error)
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.SendBufSize <= 0 {
+		c.SendBufSize = 1 << 20
+	}
+	if c.RecvBufSize <= 0 {
+		c.RecvBufSize = 1 << 20
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MSL <= 0 {
+		c.MSL = time.Second
+	}
+	if c.DelayedAckTimeout <= 0 {
+		c.DelayedAckTimeout = 40 * time.Millisecond
+	}
+}
+
+// Stats counts a connection's activity.
+type Stats struct {
+	BytesSent    uint64 // payload bytes passed to Output (incl. rexmit)
+	BytesRcvd    uint64 // in-order payload bytes delivered to the app side
+	BytesAcked   uint64 // payload bytes cumulatively acknowledged
+	SegsSent     uint64
+	SegsRcvd     uint64
+	Retransmits  uint64
+	FastRexmits  uint64
+	RTOs         uint64
+	DupAcks      uint64
+	ECNEchoes    uint64
+	SRTT         time.Duration
+	MinRTT       time.Duration
+	DeliveryRate float64 // latest bytes/sec estimate
+}
+
+// segMeta tracks one transmitted segment for retransmission and rate
+// sampling.
+type segMeta struct {
+	seq             uint32
+	length          int
+	sentAt          sim.Time
+	deliveredAtSend uint64
+	// deliveredTimeAtSend is when the delivered counter reached
+	// deliveredAtSend; rate samples span from there to the ack,
+	// which keeps burst cumulative acks (after loss recovery) from
+	// inflating the estimate.
+	deliveredTimeAtSend sim.Time
+	appLimited          bool
+	retransmitted       bool
+	sacked              bool
+	fin                 bool
+}
+
+type oooSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// Conn is one TCP connection. All methods must be invoked on the
+// configured Clock's executor; callbacks are delivered there too.
+type Conn struct {
+	cfg   Config
+	state State
+
+	// Send sequence state (RFC 793 names).
+	iss    uint32
+	sndUna uint32
+	sndNxt uint32
+	sndMax uint32 // highest sequence ever sent (survives RTO rewind)
+	sndWnd int    // peer's advertised window, scaled to bytes
+
+	sndBuf    *byteRing // bytes in [sndUna+…, ) not yet acknowledged
+	finQueued bool
+	finSent   bool
+	finSeq    uint32
+
+	peerWScale uint8
+	ourWScale  uint8
+	sackOK     bool
+
+	// Retransmission machinery.
+	rto      time.Duration
+	srtt     time.Duration
+	rttvar   time.Duration
+	rtoTimer sim.Timer
+	inflight []*segMeta
+	backoff  int
+
+	// Recovery (NewReno + SACK-lite).
+	dupAcks    int
+	inRecovery bool
+	recover    uint32
+	lastAckSeq uint32
+
+	// Rate sampling (for BBR).
+	delivered     uint64
+	deliveredAt   sim.Time // when the delivered counter last advanced
+	appLtdUntil   uint64
+	pendingSample tcpcc.AckSample
+
+	// Receive sequence state.
+	irs      uint32
+	rcvNxt   uint32
+	rcvBuf   *byteRing
+	ooo      []oooSeg
+	oooBytes int
+	finRcvd  bool
+
+	// Acking.
+	delackTimer  sim.Timer
+	lastOOOSeq   uint32 // seq of the most recent out-of-order arrival
+	sackRotate   uint32 // rotates secondary SACK blocks across runs
+	unackedSegs  int
+	lastAdvWnd   int
+	lastDataCE   bool
+	ecnEnabled   bool
+	ecnReactedAt sim.Time
+
+	// Pacing.
+	paceNext   sim.Time
+	paceTimer  sim.Timer
+	pacePinned bool
+
+	persistTimer  sim.Timer
+	timeWaitTimer sim.Timer
+
+	cc        tcpcc.Algorithm
+	ctrl      tcpcc.Control
+	wantWrite bool
+	closed    bool
+	stats     Stats
+	ownerHook func()
+
+	// onEstablishedFired guards the one-shot handshake callback.
+	onEstablishedFired bool
+}
+
+// newConn builds the shared parts of active and passive connections.
+func newConn(cfg Config) *Conn {
+	cfg.fillDefaults()
+	if cfg.Clock == nil || cfg.Output == nil || cfg.CC == nil {
+		panic("tcp: Config requires Clock, Output, and CC")
+	}
+	c := &Conn{
+		cfg:    cfg,
+		sndBuf: newByteRing(cfg.SendBufSize),
+		rcvBuf: newByteRing(cfg.RecvBufSize),
+		cc:     cfg.CC,
+		rto:    time.Second,
+	}
+	if c.rto < cfg.MinRTO {
+		c.rto = cfg.MinRTO
+	}
+	// Window scale large enough to advertise the whole receive buffer.
+	for ws := uint8(0); ws <= 14; ws++ {
+		if cfg.RecvBufSize>>ws <= 0xffff {
+			c.ourWScale = ws
+			break
+		}
+		c.ourWScale = 14
+	}
+	c.ctrl.MSS = cfg.MSS
+	c.cc.Init(&c.ctrl, cfg.Clock.Now().Duration())
+	c.stats.MinRTT = -1
+	if cfg.RNG != nil {
+		c.iss = uint32(cfg.RNG.Uint64())
+	} else {
+		c.iss = uint32(cfg.Clock.Now())
+	}
+	return c
+}
+
+// Dial opens an active connection: it transmits a SYN immediately.
+func Dial(cfg Config) *Conn {
+	c := newConn(cfg)
+	c.state = StateSynSent
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
+	c.sendSYN(false)
+	c.armRTO()
+	return c
+}
+
+// newPassive builds a connection for a listener that just received the
+// given SYN.
+func newPassive(cfg Config, syn *Header, ecnRequested bool) *Conn {
+	c := newConn(cfg)
+	c.state = StateSynRcvd
+	c.irs = syn.Seq
+	c.rcvNxt = syn.Seq + 1
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
+	c.applySynOptions(&syn.Opts)
+	c.sndWnd = int(syn.Window) // SYN windows are unscaled
+	c.ecnEnabled = ecnRequested && c.cc.NeedsECN()
+	c.sendSYN(true)
+	c.armRTO()
+	return c
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// LocalAddr returns the local endpoint.
+func (c *Conn) LocalAddr() AddrPort { return c.cfg.Local }
+
+// RemoteAddr returns the remote endpoint.
+func (c *Conn) RemoteAddr() AddrPort { return c.cfg.Remote }
+
+// CongestionControl exposes the connection's CC instance (monitoring).
+func (c *Conn) CongestionControl() tcpcc.Algorithm { return c.cc }
+
+// SetCallbacks installs application callbacks after the fact — the
+// accept path needs this, since a passive connection exists before the
+// application sees it.
+func (c *Conn) SetCallbacks(onReadable, onWritable func(), onClose func(error)) {
+	c.cfg.OnReadable = onReadable
+	c.cfg.OnWritable = onWritable
+	c.cfg.OnClose = onClose
+}
+
+// CWnd returns the current congestion window in bytes.
+func (c *Conn) CWnd() int { return c.ctrl.CWnd }
+
+func (c *Conn) applySynOptions(o *Options) {
+	if o.MSS != 0 && int(o.MSS) < c.cfg.MSS {
+		c.cfg.MSS = int(o.MSS)
+		c.ctrl.MSS = c.cfg.MSS
+	}
+	if o.WScaleOK {
+		c.peerWScale = o.WScale
+	} else {
+		c.ourWScale = 0 // both sides must support scaling
+	}
+	c.sackOK = o.SACKPermitted
+}
+
+func (c *Conn) sendSYN(synAck bool) {
+	h := &Header{
+		Flags:  FlagSYN,
+		Seq:    c.iss,
+		Window: uint16(min(c.rcvBuf.Free(), 0xffff)),
+		Opts: Options{
+			MSS:           uint16(c.cfg.MSS),
+			WScale:        c.ourWScale,
+			WScaleOK:      true,
+			SACKPermitted: true,
+		},
+	}
+	if synAck {
+		h.Flags |= FlagACK
+		h.Ack = c.rcvNxt
+		if c.ecnEnabled {
+			h.Flags |= FlagECE
+		}
+	} else if c.cc.NeedsECN() {
+		// RFC 3168 §6.1.1: ECN-setup SYN carries ECE+CWR.
+		h.Flags |= FlagECE | FlagCWR
+	}
+	c.transmit(h, nil, false)
+}
+
+// Write appends data to the send buffer and starts transmission,
+// returning the number of bytes accepted (possibly 0 when the buffer is
+// full; OnWritable will fire when space frees).
+func (c *Conn) Write(p []byte) int {
+	if c.closed || c.finQueued || c.state == StateClosed {
+		return 0
+	}
+	n := c.sndBuf.Write(p)
+	if n < len(p) {
+		c.wantWrite = true
+	}
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.trySend()
+	}
+	return n
+}
+
+// WriteBufferFree returns the free space in the send buffer.
+func (c *Conn) WriteBufferFree() int { return c.sndBuf.Free() }
+
+// Read drains up to len(p) bytes of in-order received data. eof turns
+// true once the peer's FIN is consumed and the buffer is empty.
+func (c *Conn) Read(p []byte) (n int, eof bool) {
+	n = c.rcvBuf.Read(p)
+	if n > 0 {
+		c.maybeSendWindowUpdate()
+	}
+	return n, c.finRcvd && c.rcvBuf.Empty()
+}
+
+// ReadAvailable returns the bytes ready for Read.
+func (c *Conn) ReadAvailable() int { return c.rcvBuf.Len() }
+
+// Close starts a graceful shutdown: remaining buffered data is sent,
+// then a FIN.
+func (c *Conn) Close() {
+	if c.closed || c.finQueued {
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		c.teardown(nil)
+		return
+	case StateEstablished, StateSynRcvd, StateCloseWait:
+		c.finQueued = true
+		c.trySend()
+	default:
+	}
+}
+
+// Abort resets the connection immediately.
+func (c *Conn) Abort() {
+	if c.closed {
+		return
+	}
+	if c.state != StateClosed && c.state != StateTimeWait {
+		h := &Header{Flags: FlagRST | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}
+		c.transmit(h, nil, false)
+	}
+	c.teardown(fmt.Errorf("tcp: connection aborted"))
+}
+
+// teardown finalizes the connection and stops every timer.
+func (c *Conn) teardown(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.state = StateClosed
+	for _, t := range []sim.Timer{c.rtoTimer, c.delackTimer, c.paceTimer, c.persistTimer, c.timeWaitTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	if !c.onEstablishedFired && c.cfg.OnEstablished != nil {
+		c.onEstablishedFired = true
+		e := err
+		if e == nil {
+			e = fmt.Errorf("tcp: closed before establishment")
+		}
+		c.cfg.OnEstablished(e)
+	}
+	if c.ownerHook != nil {
+		c.ownerHook()
+	}
+	if c.cfg.OnClose != nil {
+		c.cfg.OnClose(err)
+	}
+}
+
+// SetNagle toggles RFC 896 coalescing at runtime (setsockopt
+// TCP_NODELAY, inverted).
+func (c *Conn) SetNagle(on bool) { c.cfg.Nagle = on }
+
+// NagleEnabled reports whether RFC 896 coalescing is active.
+func (c *Conn) NagleEnabled() bool { return c.cfg.Nagle }
+
+// SetOwnerHook registers an owner (stack) hook invoked once on final
+// teardown, before the application's OnClose. The owning stack uses it
+// to deregister the connection from its demux table; SetCallbacks does
+// not disturb it.
+func (c *Conn) SetOwnerHook(fn func()) { c.ownerHook = fn }
+
+func (c *Conn) establish() {
+	c.state = StateEstablished
+	if !c.onEstablishedFired {
+		c.onEstablishedFired = true
+		if c.cfg.OnEstablished != nil {
+			c.cfg.OnEstablished(nil)
+		}
+	}
+	c.trySend()
+}
+
+// reset handles an inbound RST.
+func (c *Conn) reset() {
+	err := fmt.Errorf("tcp: connection reset by peer")
+	if c.state == StateSynSent {
+		err = fmt.Errorf("tcp: connection refused")
+	}
+	c.teardown(err)
+}
+
+// Input processes one inbound segment. ceMarked reports an IP-level
+// ECN congestion-experienced codepoint.
+func (c *Conn) Input(h *Header, payload []byte, ceMarked bool) {
+	if c.closed {
+		return
+	}
+	c.stats.SegsRcvd++
+
+	if h.Flags&FlagRST != 0 {
+		// RFC 5961-lite: only accept an in-window RST.
+		if c.state == StateSynSent || (seqGEQ(h.Seq, c.rcvNxt) && seqLT(h.Seq, c.rcvNxt+uint32(max(c.rcvBuf.Free(), 1)))) {
+			c.reset()
+		}
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		c.inputSynSent(h)
+		return
+	case StateSynRcvd:
+		if h.Flags&FlagSYN != 0 { // retransmitted SYN: re-ack
+			c.sendSYN(true)
+			return
+		}
+		if h.Flags&FlagACK != 0 && h.Ack == c.sndNxt {
+			c.sndUna = h.Ack
+			c.clearInflightUpTo(h.Ack)
+			c.sndWnd = int(h.Window) << c.peerWScale
+			c.establish()
+			// Fall through to normal processing for any payload.
+		} else if h.Flags&FlagACK != 0 {
+			return // stale ack
+		}
+	case StateTimeWait:
+		// Re-ack retransmitted FINs.
+		if h.Flags&FlagFIN != 0 {
+			c.sendAck()
+		}
+		return
+	}
+
+	if c.state == StateClosed {
+		return
+	}
+
+	if h.Flags&FlagACK != 0 {
+		c.processAck(h)
+		if c.closed {
+			return
+		}
+	}
+	if len(payload) > 0 || h.Flags&FlagFIN != 0 {
+		c.processPayload(h, payload, ceMarked)
+	}
+	if !c.closed {
+		c.trySend()
+	}
+}
+
+func (c *Conn) inputSynSent(h *Header) {
+	if h.Flags&(FlagSYN|FlagACK) != FlagSYN|FlagACK || h.Ack != c.iss+1 {
+		return
+	}
+	c.irs = h.Seq
+	c.rcvNxt = h.Seq + 1
+	c.sndUna = h.Ack
+	c.clearInflightUpTo(h.Ack)
+	c.applySynOptions(&h.Opts)
+	c.sndWnd = int(h.Window) // unscaled in the SYN-ACK
+	// RFC 3168 §6.1.1.1: SYN-ACK with ECE and not CWR means ECN is on.
+	c.ecnEnabled = h.Flags&FlagECE != 0 && h.Flags&FlagCWR == 0
+	c.stopRTO()
+	c.sendAck()
+	c.establish()
+}
+
+// processPayload handles the data/FIN part of a segment.
+func (c *Conn) processPayload(h *Header, payload []byte, ceMarked bool) {
+	seq := h.Seq
+	fin := h.Flags&FlagFIN != 0
+
+	// Trim data before rcvNxt (retransmitted overlap).
+	if seqLT(seq, c.rcvNxt) {
+		skip := seqDiff(c.rcvNxt, seq)
+		if skip >= len(payload) {
+			if fin && seq+uint32(len(payload)) == c.rcvNxt {
+				// FIN exactly at rcvNxt after trimming.
+				payload = nil
+				seq = c.rcvNxt
+			} else {
+				// Entirely old: re-ack and drop.
+				c.sendAck()
+				return
+			}
+		} else {
+			payload = payload[skip:]
+			seq = c.rcvNxt
+		}
+	}
+
+	if ceMarked {
+		c.lastDataCE = true
+	} else if len(payload) > 0 {
+		c.lastDataCE = false
+	}
+
+	if seq == c.rcvNxt {
+		c.acceptInOrder(payload, fin)
+	} else {
+		// Out of order: buffer everything that fits inside the window
+		// we advertised (dropping in-window data would manufacture
+		// artificial holes for the sender to recover one RTT at a
+		// time), and send an immediate duplicate ACK with SACK info.
+		if len(payload) > 0 && c.oooBytes+len(payload) <= c.rcvBuf.Free() {
+			data := make([]byte, len(payload))
+			copy(data, payload)
+			c.insertOOO(oooSeg{seq: seq, data: data, fin: fin})
+			c.lastOOOSeq = seq
+		}
+		c.sendAck()
+		return
+	}
+
+	// Acking policy: immediate ack every second segment, else delayed.
+	c.unackedSegs++
+	if c.unackedSegs >= 2 || c.finRcvd || c.lastDataCE || c.ecnEnabled {
+		c.sendAck()
+	} else {
+		c.armDelack()
+	}
+
+	if c.cfg.OnReadable != nil && (c.rcvBuf.Len() > 0 || c.finRcvd) {
+		c.cfg.OnReadable()
+	}
+}
+
+// acceptInOrder consumes payload at rcvNxt, then merges any contiguous
+// out-of-order segments.
+func (c *Conn) acceptInOrder(payload []byte, fin bool) {
+	n := c.rcvBuf.Write(payload)
+	// Bytes beyond the buffer are dropped; the advertised window should
+	// prevent this, but a misbehaving peer must not corrupt state.
+	c.rcvNxt += uint32(n)
+	c.stats.BytesRcvd += uint64(n)
+	if n < len(payload) {
+		return
+	}
+	if fin {
+		c.handleFIN()
+		return
+	}
+	// Merge out-of-order runs.
+	for len(c.ooo) > 0 {
+		s := c.ooo[0]
+		if seqGT(s.seq, c.rcvNxt) {
+			break
+		}
+		c.ooo = c.ooo[1:]
+		c.oooBytes -= len(s.data)
+		skip := seqDiff(c.rcvNxt, s.seq)
+		if skip < 0 || skip > len(s.data) {
+			continue
+		}
+		m := c.rcvBuf.Write(s.data[skip:])
+		c.rcvNxt += uint32(m)
+		c.stats.BytesRcvd += uint64(m)
+		if m < len(s.data[skip:]) {
+			break
+		}
+		if s.fin {
+			c.handleFIN()
+			return
+		}
+	}
+}
+
+func (c *Conn) handleFIN() {
+	if c.finRcvd {
+		return
+	}
+	c.finRcvd = true
+	c.rcvNxt++
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked: simultaneous close.
+		c.state = StateClosing
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+	c.sendAck()
+	if c.cfg.OnReadable != nil {
+		c.cfg.OnReadable()
+	}
+}
+
+func (c *Conn) insertOOO(s oooSeg) {
+	i := 0
+	for ; i < len(c.ooo); i++ {
+		if seqLT(s.seq, c.ooo[i].seq) {
+			break
+		}
+		if s.seq == c.ooo[i].seq {
+			return // duplicate
+		}
+	}
+	c.ooo = append(c.ooo, oooSeg{})
+	copy(c.ooo[i+1:], c.ooo[i:])
+	c.ooo[i] = s
+	c.oooBytes += len(s.data)
+}
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.stopRTO()
+	if c.timeWaitTimer != nil {
+		c.timeWaitTimer.Stop()
+	}
+	c.timeWaitTimer = c.cfg.Clock.AfterFunc(2*c.cfg.MSL, func() {
+		c.teardown(nil)
+	})
+}
+
+// sackBlocks builds up to MaxSACKBlocks from the out-of-order queue.
+// Per RFC 2018 the first block is the one containing the most recently
+// received segment; the remaining slots rotate through the other runs
+// so that, over a stream of ACKs, the sender's scoreboard learns about
+// every hole — reporting only the lowest runs would leave everything
+// above the front invisible and stall SACK recovery.
+func (c *Conn) sackBlocks() []SACKBlock {
+	if !c.sackOK || len(c.ooo) == 0 {
+		return nil
+	}
+	// Coalesce the (sorted) queue into contiguous runs.
+	var runs []SACKBlock
+	newestRun := 0
+	for _, s := range c.ooo {
+		start, end := s.seq, s.seq+uint32(len(s.data))
+		if n := len(runs); n > 0 && runs[n-1].End == start {
+			runs[n-1].End = end
+		} else {
+			runs = append(runs, SACKBlock{Start: start, End: end})
+		}
+		if seqLEQ(runs[len(runs)-1].Start, c.lastOOOSeq) && seqLT(c.lastOOOSeq, runs[len(runs)-1].End) {
+			newestRun = len(runs) - 1
+		}
+	}
+	blocks := make([]SACKBlock, 0, MaxSACKBlocks)
+	blocks = append(blocks, runs[newestRun])
+	for i := 1; i < len(runs) && len(blocks) < MaxSACKBlocks; i++ {
+		idx := (newestRun + int(c.sackRotate) + i) % len(runs)
+		if idx == newestRun {
+			continue
+		}
+		blocks = append(blocks, runs[idx])
+	}
+	c.sackRotate++
+	return blocks
+}
+
+func (c *Conn) advertisedWindow() uint16 {
+	w := c.rcvBuf.Free() >> c.ourWScale
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+func (c *Conn) sendAck() {
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+	}
+	c.unackedSegs = 0
+	h := &Header{
+		Flags:  FlagACK,
+		Seq:    c.sndNxt,
+		Ack:    c.rcvNxt,
+		Window: c.advertisedWindow(),
+		Opts:   Options{SACKBlocks: c.sackBlocks()},
+	}
+	if c.ecnEnabled && c.lastDataCE {
+		h.Flags |= FlagECE
+	}
+	c.lastAdvWnd = int(h.Window) << c.ourWScale
+	c.transmit(h, nil, false)
+}
+
+func (c *Conn) armDelack() {
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+	}
+	c.delackTimer = c.cfg.Clock.AfterFunc(c.cfg.DelayedAckTimeout, func() {
+		if !c.closed && c.unackedSegs > 0 {
+			c.sendAck()
+		}
+	})
+}
+
+// maybeSendWindowUpdate re-advertises after the application drains the
+// receive buffer across a significant threshold (silly-window-syndrome
+// avoidance on the receive side).
+func (c *Conn) maybeSendWindowUpdate() {
+	if c.closed || c.state == StateClosed {
+		return
+	}
+	free := c.rcvBuf.Free()
+	if c.lastAdvWnd < c.cfg.MSS && free-c.lastAdvWnd >= c.cfg.MSS ||
+		free-c.lastAdvWnd >= c.rcvBuf.Cap()/2 {
+		c.sendAck()
+	}
+}
+
+// transmit stamps shared fields and hands the segment to the stack.
+func (c *Conn) transmit(h *Header, payload []byte, ecnCapable bool) {
+	h.SrcPort = c.cfg.Local.Port
+	h.DstPort = c.cfg.Remote.Port
+	c.stats.SegsSent++
+	c.stats.BytesSent += uint64(len(payload))
+	c.cfg.Output(h, payload, ecnCapable)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Debug accessors used by experiment diagnostics and tests.
+
+// DebugOutstanding returns bytes in flight.
+func (c *Conn) DebugOutstanding() int { return c.outstanding() }
+
+// DebugSndWnd returns the peer-advertised send window in bytes.
+func (c *Conn) DebugSndWnd() int { return c.sndWnd }
+
+// DebugInflightLen returns tracked in-flight segment count.
+func (c *Conn) DebugInflightLen() int { return len(c.inflight) }
+
+// DebugRcvBufLen returns buffered in-order bytes.
+func (c *Conn) DebugRcvBufLen() int { return c.rcvBuf.Len() }
+
+// DebugOOOBytes returns buffered out-of-order bytes.
+func (c *Conn) DebugOOOBytes() int { return c.oooBytes }
+
+// DebugOOOCount returns the out-of-order segment count.
+func (c *Conn) DebugOOOCount() int { return len(c.ooo) }
+
+// DebugAdvWnd returns the window the conn would advertise now.
+func (c *Conn) DebugAdvWnd() int { return int(c.advertisedWindow()) << c.ourWScale }

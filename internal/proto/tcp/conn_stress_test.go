@@ -1,0 +1,252 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"netkernel/internal/sim"
+	"netkernel/internal/tcpcc"
+)
+
+// TestTransferSurvivesRandomAdversity is the TCP torture test: for a
+// set of seeds, a transfer crosses a pipe with random loss, random
+// extra delay (reordering), and occasional duplication — and must
+// arrive complete and intact.
+func TestTransferSurvivesRandomAdversity(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			n := newTestNet(t)
+			rng := sim.NewRNG(seed)
+			n.drop = func(dir string, h *Header, payload []byte) bool {
+				if len(payload) == 0 && h.Flags&(FlagSYN|FlagFIN) == 0 {
+					// Keep pure acks mostly intact so the test ends in
+					// reasonable simulated time.
+					return rng.Bernoulli(0.02)
+				}
+				switch {
+				case rng.Bernoulli(0.05): // drop
+					return true
+				case rng.Bernoulli(0.05): // delay (reorder)
+					seg := h.Marshal(n.aAddr.Addr, n.bAddr.Addr, payload)
+					src, dst := n.aAddr, n.bAddr
+					if dir == "b→a" {
+						src, dst = n.bAddr, n.aAddr
+					}
+					into := func() *Conn {
+						if dir == "a→b" {
+							return n.b
+						}
+						return n.a
+					}
+					extra := time.Duration(rng.Intn(20)) * time.Millisecond
+					n.loop.AfterFunc(n.delay+extra, func() {
+						hh, pl, err := Parse(src.Addr, dst.Addr, seg)
+						if err == nil && into() != nil {
+							into().Input(&hh, pl, false)
+						}
+					})
+					return true
+				case rng.Bernoulli(0.03): // duplicate
+					seg := h.Marshal(n.aAddr.Addr, n.bAddr.Addr, payload)
+					src, dst := n.aAddr, n.bAddr
+					if dir == "b→a" {
+						src, dst = n.bAddr, n.aAddr
+					}
+					into := func() *Conn {
+						if dir == "a→b" {
+							return n.b
+						}
+						return n.a
+					}
+					n.loop.AfterFunc(n.delay*2, func() {
+						hh, pl, err := Parse(src.Addr, dst.Addr, seg)
+						if err == nil && into() != nil {
+							into().Input(&hh, pl, false)
+						}
+					})
+					return false // deliver the original too
+				}
+				return false
+			}
+			n.dialPair("cubic", "cubic", func(cfg *Config, side string) {
+				cfg.MinRTO = 50 * time.Millisecond
+			})
+			n.loop.RunFor(2 * time.Second)
+			if n.a == nil || n.a.State() != StateEstablished {
+				t.Skipf("handshake lost to adversity (seed %d)", seed)
+			}
+
+			payload := make([]byte, 300<<10)
+			prng := sim.NewRNG(seed * 77)
+			for i := range payload {
+				payload[i] = byte(prng.Uint64())
+			}
+			got := n.transfer(n.a, n.b, payload, 120*time.Second)
+			if len(got) != len(payload) {
+				t.Fatalf("transferred %d of %d under adversity", len(got), len(payload))
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload corrupted under adversity")
+			}
+		})
+	}
+}
+
+func TestHalfClose(t *testing.T) {
+	// A closes its direction; B must still be able to send until it
+	// closes too (FIN-WAIT-2 receives).
+	n := newTestNet(t)
+	n.dialPair("reno", "reno", nil)
+	n.establish()
+
+	n.a.Write([]byte("request"))
+	n.a.Close()
+	n.loop.RunFor(100 * time.Millisecond)
+
+	buf := make([]byte, 64)
+	m, eof := n.b.Read(buf)
+	if string(buf[:m]) != "request" || !eof {
+		t.Fatalf("b read %q eof=%v", buf[:m], eof)
+	}
+	if n.a.State() != StateFinWait2 {
+		t.Fatalf("a state %v, want fin-wait-2", n.a.State())
+	}
+
+	// B responds on the still-open direction.
+	n.b.Write([]byte("late response"))
+	n.loop.RunFor(100 * time.Millisecond)
+	m, _ = n.a.Read(buf)
+	if string(buf[:m]) != "late response" {
+		t.Fatalf("a read %q after half-close", buf[:m])
+	}
+
+	n.b.Close()
+	n.loop.RunFor(3 * time.Second)
+	if n.a.State() != StateClosed || n.b.State() != StateClosed {
+		t.Fatalf("final states a=%v b=%v", n.a.State(), n.b.State())
+	}
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	n := newTestNet(t)
+	n.dialPair("reno", "reno", func(cfg *Config, side string) {
+		cfg.MSL = 50 * time.Millisecond
+	})
+	n.establish()
+	// Both close in the same instant: FIN crossing → CLOSING → TIME-WAIT.
+	n.a.Close()
+	n.b.Close()
+	n.loop.RunFor(2 * time.Second)
+	if n.a.State() != StateClosed || n.b.State() != StateClosed {
+		t.Fatalf("states after simultaneous close: a=%v b=%v", n.a.State(), n.b.State())
+	}
+}
+
+func TestWindowScaleFallback(t *testing.T) {
+	// A peer that does not offer window scaling forces both sides to
+	// unscaled 16-bit windows.
+	n := newTestNet(t)
+	n.dialPair("reno", "reno", nil)
+	// Strip the wscale option from the SYN-ACK in flight.
+	origDrop := n.drop
+	_ = origDrop
+	n.loop.RunFor(200 * time.Millisecond)
+	// (direct manipulation: both sides negotiated; emulate a no-wscale
+	// peer by constructing a passive conn from a SYN without the option)
+	syn := Header{
+		SrcPort: 9999, DstPort: 80, Seq: 1000, Flags: FlagSYN, Window: 4096,
+		Opts: Options{MSS: 1460}, // no WScaleOK
+	}
+	var sent []Header
+	cfg := Config{
+		Clock: n.loop, Local: n.bAddr, Remote: AddrPort{Addr: n.aAddr.Addr, Port: 9999},
+		CC:     mustCC(t, "reno"),
+		Output: func(h *Header, p []byte, e bool) { sent = append(sent, *h) },
+	}
+	c := NewPassive(cfg, &syn, false)
+	if c.ourWScale != 0 {
+		t.Fatalf("wscale = %d against a non-scaling peer, want 0", c.ourWScale)
+	}
+	if len(sent) == 0 || sent[0].Flags&(FlagSYN|FlagACK) != FlagSYN|FlagACK {
+		t.Fatal("no SYN-ACK emitted")
+	}
+}
+
+func TestMSSNegotiationTakesMinimum(t *testing.T) {
+	syn := Header{
+		SrcPort: 9999, DstPort: 80, Seq: 1, Flags: FlagSYN, Window: 4096,
+		Opts: Options{MSS: 536, WScaleOK: true},
+	}
+	cfg := Config{
+		Clock: sim.NewLoop(), Local: AddrPort{Port: 80}, Remote: AddrPort{Port: 9999},
+		MSS: 1460, CC: mustCC(t, "reno"), Output: func(*Header, []byte, bool) {},
+	}
+	c := NewPassive(cfg, &syn, false)
+	if c.cfg.MSS != 536 {
+		t.Fatalf("negotiated MSS %d, want the peer's smaller 536", c.cfg.MSS)
+	}
+}
+
+func TestRetransmittedSYNACK(t *testing.T) {
+	// Drop the first SYN-ACK: the handshake must still complete via
+	// handshake retransmission on both sides.
+	n := newTestNet(t)
+	dropped := false
+	n.drop = func(dir string, h *Header, payload []byte) bool {
+		if dir == "b→a" && h.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	n.dialPair("reno", "reno", func(cfg *Config, side string) {
+		cfg.MinRTO = 50 * time.Millisecond
+	})
+	n.loop.RunFor(3 * time.Second)
+	if !dropped {
+		t.Fatal("test never dropped a SYN-ACK")
+	}
+	if n.a.State() != StateEstablished || n.b.State() != StateEstablished {
+		t.Fatalf("handshake never recovered from SYN-ACK loss: a=%v b=%v", n.a.State(), n.b.State())
+	}
+	if n.a.Stats().RTOs == 0 && n.b.Stats().RTOs == 0 {
+		t.Fatal("handshake retransmission not accounted as an RTO")
+	}
+}
+
+func TestWriteAfterCloseRefused(t *testing.T) {
+	n := newTestNet(t)
+	n.dialPair("reno", "reno", nil)
+	n.establish()
+	n.a.Close()
+	if n.a.Write([]byte("too late")) != 0 {
+		t.Fatal("Write accepted data after Close")
+	}
+}
+
+func TestAbortDuringTransfer(t *testing.T) {
+	n := newTestNet(t)
+	n.dialPair("cubic", "cubic", nil)
+	n.establish()
+	n.a.Write(make([]byte, 500<<10))
+	n.loop.RunFor(20 * time.Millisecond) // mid-flight
+	var bErr error
+	n.b.SetCallbacks(nil, nil, func(err error) { bErr = err })
+	n.a.Abort()
+	n.loop.RunFor(200 * time.Millisecond)
+	if bErr == nil {
+		t.Fatalf("peer not reset mid-transfer (state %v)", n.b.State())
+	}
+}
+
+func mustCC(t *testing.T, name string) tcpcc.Algorithm {
+	t.Helper()
+	cc, err := tcpcc.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}

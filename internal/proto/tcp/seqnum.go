@@ -1,0 +1,21 @@
+package tcp
+
+// Sequence-number arithmetic modulo 2³² (RFC 793 §3.3). All comparisons
+// are window-relative: a is "less than" b when the signed distance from
+// a to b is positive.
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqDiff returns the signed distance from b to a.
+func seqDiff(a, b uint32) int { return int(int32(a - b)) }
+
+// seqMax returns the later of two sequence numbers.
+func seqMax(a, b uint32) uint32 {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"netkernel/internal/proto/ipv4"
+)
+
+var (
+	srcAddr = ipv4.Addr{10, 0, 0, 1}
+	dstAddr = ipv4.Addr{10, 0, 0, 2}
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	h := Header{SrcPort: 5353, DstPort: 53}
+	payload := []byte("dns query")
+	dg := h.Marshal(srcAddr, dstAddr, payload)
+	got, pl, err := Parse(srcAddr, dstAddr, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || !bytes.Equal(pl, payload) {
+		t.Fatalf("round trip: %+v %q", got, pl)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	dg := (&Header{SrcPort: 1, DstPort: 2}).Marshal(srcAddr, dstAddr, []byte("data"))
+	dg[HeaderLen] ^= 0xff
+	if _, _, err := Parse(srcAddr, dstAddr, dg); err == nil {
+		t.Fatal("corrupt datagram accepted")
+	}
+	// Checksum covers the pseudo-header: wrong addresses must fail too.
+	dg2 := (&Header{SrcPort: 1, DstPort: 2}).Marshal(srcAddr, dstAddr, []byte("data"))
+	if _, _, err := Parse(srcAddr, ipv4.Addr{9, 9, 9, 9}, dg2); err == nil {
+		t.Fatal("datagram accepted under wrong destination")
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	if _, _, err := Parse(srcAddr, dstAddr, make([]byte, 4)); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+	dg := (&Header{SrcPort: 1, DstPort: 2}).Marshal(srcAddr, dstAddr, []byte("abc"))
+	dg[4], dg[5] = 0xff, 0xff // length beyond buffer
+	if _, _, err := Parse(srcAddr, dstAddr, dg); err == nil {
+		t.Fatal("oversize length field accepted")
+	}
+}
+
+func TestParseStripsEthernetPadding(t *testing.T) {
+	dg := (&Header{SrcPort: 7, DstPort: 9}).Marshal(srcAddr, dstAddr, []byte("hi"))
+	padded := append(dg, make([]byte, 20)...)
+	_, pl, err := Parse(srcAddr, dstAddr, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pl) != "hi" {
+		t.Fatalf("payload %q", pl)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	err := quick.Check(func(sp, dp uint16, payload []byte, s, d [4]byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		h := Header{SrcPort: sp, DstPort: dp}
+		dg := h.Marshal(ipv4.Addr(s), ipv4.Addr(d), payload)
+		got, pl, err := Parse(ipv4.Addr(s), ipv4.Addr(d), dg)
+		return err == nil && got == h && bytes.Equal(pl, payload)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

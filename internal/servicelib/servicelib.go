@@ -1,0 +1,517 @@
+// Package servicelib implements the NSM half of NetKernel: the library
+// inside a Network Stack Module that executes GuestLib's operations
+// against the module's real network stack (§3.1: "Inside the NSM, the
+// ServiceLib interfaces with the network stack and GuestLib in the
+// tenant VM").
+//
+// The prototype's two callbacks are preserved by name and role:
+// NewDataCallback (nk_new_data_callback) pushes received payloads into
+// the huge pages and enqueues new-data nqes; NewAcceptCallback
+// (nk_new_accept_callback) harvests accepted connections and emits
+// new-connection events (§4.1).
+package servicelib
+
+import (
+	"strings"
+	"time"
+
+	"netkernel/internal/proto/ipv4"
+
+	"netkernel/internal/nkchan"
+	"netkernel/internal/nqe"
+	"netkernel/internal/proto/tcp"
+	"netkernel/internal/sched"
+	"netkernel/internal/shm"
+	"netkernel/internal/sim"
+	"netkernel/internal/stack"
+)
+
+// Config parameterizes a ServiceLib.
+type Config struct {
+	Clock sim.Clock
+	NSMID uint32
+	Pair  *nkchan.Pair
+	// Stack is the network stack this module hosts.
+	Stack *stack.Stack
+	// CC names the congestion control this NSM offers; it is the NSM's
+	// identity ("the CUBIC NSM", "the BBR NSM").
+	CC string
+	// RecvWindow bounds bytes pushed to the VM but not yet consumed,
+	// per connection (default 1 MiB): the shm-level receive window.
+	RecvWindow int
+	// Shaper rate-limits this tenant's egress through the module: the
+	// §2.1/§5 QoS knob ("providing QoS guarantees" when an NSM serves
+	// multiple VMs). Nil means unlimited.
+	Shaper sched.Shaper
+	// CoalesceDelay batches receive-side data into full huge-page
+	// chunks: when less than one chunk is buffered, delivery waits up
+	// to this long for more. This is the nqe-level analogue of the
+	// batched interrupts in §3.2 and keeps the per-event overhead off
+	// the bulk datapath. Default 5 µs; negative disables coalescing.
+	CoalesceDelay time.Duration
+}
+
+// Stats counts ServiceLib activity.
+type Stats struct {
+	JobsProcessed uint64
+	DataIn        uint64 // bytes VM→NSM (sends)
+	DataOut       uint64 // bytes NSM→VM (receives)
+	Conns         uint64
+	Accepts       uint64
+}
+
+type sendChunk struct {
+	chunk shm.Chunk
+	size  int
+	off   int
+}
+
+type connState struct {
+	cid          uint32
+	isDgram      bool
+	conn         *tcp.Conn
+	udp          *stack.UDPSocket // datagram sockets, set at bind
+	sendQ        []sendChunk
+	recvDebt     int // bytes at the VM awaiting an OpRecv credit
+	eofSent      bool
+	shaperWait   bool // a shaper retry timer is pending
+	flushPending bool // a coalescing flush timer is pending
+}
+
+type listenerState struct {
+	cid uint32
+	lst *tcp.Listener
+}
+
+// ServiceLib is one NSM's queue pump and stack driver.
+type ServiceLib struct {
+	cfg       Config
+	conns     map[uint32]*connState
+	listeners map[uint32]*listenerState
+	nextCID   uint32
+	stats     Stats
+	// overflow holds emissions that found their ring full; they are
+	// flushed in order on the next pump, so a data flood can delay but
+	// never lose a completion or connection event.
+	overflow []stalledEmit
+}
+
+type stalledEmit struct {
+	kind nkchan.QueueKind
+	e    nqe.Element
+}
+
+// New builds a ServiceLib and wires it to the pair's NSM-side kick.
+func New(cfg Config) *ServiceLib {
+	if cfg.Clock == nil || cfg.Pair == nil || cfg.Stack == nil {
+		panic("servicelib: Config requires Clock, Pair, and Stack")
+	}
+	if cfg.RecvWindow <= 0 {
+		cfg.RecvWindow = 1 << 20
+	}
+	if cfg.CoalesceDelay == 0 {
+		cfg.CoalesceDelay = 5 * time.Microsecond
+	}
+	s := &ServiceLib{
+		cfg:       cfg,
+		conns:     make(map[uint32]*connState),
+		listeners: make(map[uint32]*listenerState),
+	}
+	cfg.Pair.KickNSM = s.pump
+	return s
+}
+
+// Stats returns a copy of the counters.
+func (s *ServiceLib) Stats() Stats { return s.stats }
+
+// CC returns the module's congestion-control name.
+func (s *ServiceLib) CC() string { return s.cfg.CC }
+
+func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
+	e.NSMID = s.cfg.NSMID
+	e.Source = nqe.FromNSM
+	target := s.cfg.Pair.NSMReceive
+	if q == nkchan.Completion {
+		target = s.cfg.Pair.NSMCompletion
+	}
+	if len(s.overflow) > 0 || !target.Push(e) {
+		s.overflow = append(s.overflow, stalledEmit{kind: q, e: *e})
+	}
+	if s.cfg.Pair.KickEngineNSM != nil {
+		s.cfg.Pair.KickEngineNSM()
+	}
+}
+
+// flushOverflow retries stalled emissions in order.
+func (s *ServiceLib) flushOverflow() {
+	for len(s.overflow) > 0 {
+		se := s.overflow[0]
+		target := s.cfg.Pair.NSMReceive
+		if se.kind == nkchan.Completion {
+			target = s.cfg.Pair.NSMCompletion
+		}
+		if !target.Push(&se.e) {
+			return
+		}
+		s.overflow = s.overflow[1:]
+	}
+}
+
+// pump drains the NSM job queue; the CoreEngine kicks it. The
+// prototype "continuously polls the queues to execute the operations
+// from GuestLib via NetKernel CoreEngine" (§4.1) — under the event
+// executor a kick-driven drain is the batched-interrupt variant.
+func (s *ServiceLib) pump() {
+	s.flushOverflow()
+	var e nqe.Element
+	for s.cfg.Pair.NSMJob.Pop(&e) {
+		s.stats.JobsProcessed++
+		s.handleJob(&e)
+	}
+	s.flushOverflow()
+	if len(s.overflow) > 0 && s.cfg.Pair.KickEngineNSM != nil {
+		s.cfg.Pair.KickEngineNSM()
+	}
+}
+
+func (s *ServiceLib) handleJob(e *nqe.Element) {
+	switch e.Op {
+	case nqe.OpSocket:
+		s.nextCID++
+		cid := s.nextCID
+		s.conns[cid] = &connState{cid: cid, isDgram: e.Arg0 == 1}
+		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSocket, CID: cid, Seq: e.Seq})
+
+	case nqe.OpBind:
+		s.handleBind(e)
+
+	case nqe.OpConnect:
+		s.handleConnect(e)
+
+	case nqe.OpListen:
+		s.handleListen(e)
+
+	case nqe.OpSend:
+		cs := s.conns[e.CID]
+		if cs == nil {
+			s.cfg.Pair.Pages.Free(shm.Chunk{Offset: e.DataOff})
+			return
+		}
+		if cs.isDgram {
+			// A datagram: one chunk, sent immediately to the address in
+			// Arg0, chunk returned to the pool.
+			chunk := shm.Chunk{Offset: e.DataOff}
+			payload := make([]byte, e.DataLen)
+			s.cfg.Pair.Pages.Read(chunk, payload, int(e.DataLen))
+			s.cfg.Pair.Pages.Free(chunk)
+			if cs.udp == nil {
+				s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, Status: nqe.StatusNotConnected})
+				return
+			}
+			ip, port := nqe.UnpackAddr(e.Arg0)
+			_ = cs.udp.SendTo(ip, port, payload)
+			s.stats.DataIn += uint64(e.DataLen)
+			s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, DataLen: e.DataLen, Status: nqe.StatusOK})
+			return
+		}
+		cs.sendQ = append(cs.sendQ, sendChunk{chunk: shm.Chunk{Offset: e.DataOff}, size: int(e.DataLen)})
+		s.pumpSend(cs)
+
+	case nqe.OpRecv:
+		cs := s.conns[e.CID]
+		if cs == nil {
+			return
+		}
+		cs.recvDebt -= int(e.Arg0)
+		if cs.recvDebt < 0 {
+			cs.recvDebt = 0
+		}
+		s.NewDataCallback(cs.cid)
+
+	case nqe.OpSetSockOpt:
+		cs := s.conns[e.CID]
+		if cs == nil || cs.conn == nil {
+			s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
+			return
+		}
+		status := nqe.StatusOK
+		switch e.Arg0 {
+		case nqe.SockOptNagle:
+			cs.conn.SetNagle(e.Arg1 != 0)
+		case nqe.SockOptPriority:
+			// Accepted; the priority-queue discipline (nkqueue) already
+			// services connection events first.
+		default:
+			status = nqe.StatusNotSupported
+		}
+		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: status})
+
+	case nqe.OpClose:
+		if cs := s.conns[e.CID]; cs != nil && cs.udp != nil {
+			cs.udp.Close()
+			delete(s.conns, e.CID)
+		} else if cs != nil && cs.conn != nil {
+			cs.conn.Close()
+		} else if ls := s.listeners[e.CID]; ls != nil {
+			s.cfg.Stack.CloseListener(ls.lst.Addr().Port)
+			delete(s.listeners, e.CID)
+		}
+	}
+}
+
+func (s *ServiceLib) handleConnect(e *nqe.Element) {
+	cs := s.conns[e.CID]
+	if cs == nil {
+		return
+	}
+	ip, port := nqe.UnpackAddr(e.Arg0)
+	cid := cs.cid
+	conn, err := s.cfg.Stack.Dial(tcp.AddrPort{Addr: ip, Port: port}, stack.SocketOptions{
+		CC: s.cfg.CC,
+		OnEstablished: func(err error) {
+			st := nqe.StatusOK
+			if err != nil {
+				st = statusFromErr(err)
+			}
+			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: st})
+		},
+		OnReadable: func() { s.NewDataCallback(cid) },
+		OnWritable: func() {
+			if c := s.conns[cid]; c != nil {
+				s.pumpSend(c)
+			}
+		},
+		OnClose: func(err error) { s.connClosed(cid, err) },
+	})
+	if err != nil {
+		s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: nqe.StatusInvalid})
+		return
+	}
+	cs.conn = conn
+	s.stats.Conns++
+}
+
+func (s *ServiceLib) handleListen(e *nqe.Element) {
+	cs := s.conns[e.CID]
+	if cs == nil {
+		return
+	}
+	port := uint16(e.Arg0)
+	backlog := int(e.Arg1)
+	lst, err := s.cfg.Stack.Listen(port, backlog, stack.SocketOptions{CC: s.cfg.CC})
+	status := nqe.StatusOK
+	if err != nil {
+		status = nqe.StatusAddrInUse
+	}
+	s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpListen, CID: e.CID, Seq: e.Seq, Status: status})
+	if err != nil {
+		return
+	}
+	ls := &listenerState{cid: e.CID, lst: lst}
+	s.listeners[e.CID] = ls
+	delete(s.conns, e.CID) // the cid now names a listener
+	lst.OnAcceptable = func() { s.NewAcceptCallback(ls) }
+}
+
+// handleBind binds a datagram socket's UDP port and installs the
+// receive path: arriving datagrams go straight into huge-page chunks
+// and OpNewData events carrying the source address.
+func (s *ServiceLib) handleBind(e *nqe.Element) {
+	cs := s.conns[e.CID]
+	if cs == nil || !cs.isDgram || cs.udp != nil {
+		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
+		return
+	}
+	cid := cs.cid
+	sock, err := s.cfg.Stack.OpenUDP(uint16(e.Arg0), func(src ipv4.Addr, srcPort uint16, data []byte) {
+		if len(data) > s.cfg.Pair.ChunkSize() {
+			return // cannot represent; drop (UDP semantics)
+		}
+		chunk, ok := s.cfg.Pair.Pages.Alloc()
+		if !ok {
+			return // pool exhausted; drop (UDP semantics)
+		}
+		s.cfg.Pair.Pages.Write(chunk, data)
+		s.stats.DataOut += uint64(len(data))
+		s.emit(nkchan.Receive, &nqe.Element{
+			Op: nqe.OpNewData, CID: cid,
+			DataOff: chunk.Offset, DataLen: uint32(len(data)),
+			Arg0: nqe.PackAddr(src, srcPort),
+		})
+	})
+	if err != nil {
+		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusAddrInUse})
+		return
+	}
+	cs.udp = sock
+	s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusOK, Arg0: uint64(sock.Port())})
+}
+
+// NewAcceptCallback is the prototype's nk_new_accept_callback: it
+// harvests accepted connections from a listener, registers them under
+// fresh connection IDs, and emits new-connection events toward the VM.
+func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
+	for {
+		conn, ok := ls.lst.Accept()
+		if !ok {
+			return
+		}
+		s.nextCID++
+		cid := s.nextCID
+		cs := &connState{cid: cid, conn: conn}
+		s.conns[cid] = cs
+		conn.SetCallbacks(
+			func() { s.NewDataCallback(cid) },
+			func() { s.pumpSend(cs) },
+			func(err error) { s.connClosed(cid, err) },
+		)
+		s.stats.Accepts++
+		remote := conn.RemoteAddr()
+		s.emit(nkchan.Receive, &nqe.Element{
+			Op: nqe.OpNewConn, CID: ls.cid,
+			Arg0: nqe.PackAddr(remote.Addr, remote.Port),
+			Arg1: uint64(cid),
+		})
+		// Deliver anything that arrived before the accept.
+		s.NewDataCallback(cid)
+	}
+}
+
+// NewDataCallback is the prototype's nk_new_data_callback: "when data
+// is received ServiceLib puts data into the huge pages, and adds an
+// nqe to the NSM receive queue" (§3.2). It respects the per-connection
+// shm receive window; OpRecv credits reopen it.
+func (s *ServiceLib) NewDataCallback(cid uint32) {
+	s.deliverData(cid, false)
+}
+
+func (s *ServiceLib) deliverData(cid uint32, flush bool) {
+	cs := s.conns[cid]
+	if cs == nil || cs.conn == nil {
+		return
+	}
+	chunkSize := s.cfg.Pair.ChunkSize()
+	for cs.recvDebt < s.cfg.RecvWindow {
+		avail := cs.conn.ReadAvailable()
+		if avail == 0 {
+			if _, eof := cs.conn.Read(nil); eof && !cs.eofSent {
+				cs.eofSent = true
+				s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+			}
+			return
+		}
+		// Coalesce sub-chunk dribbles: wait briefly for a full chunk so
+		// bulk transfers move one nqe per chunk, not one per segment.
+		if avail < chunkSize && !flush && s.cfg.CoalesceDelay > 0 {
+			if !cs.flushPending {
+				cs.flushPending = true
+				s.cfg.Clock.AfterFunc(s.cfg.CoalesceDelay, func() {
+					cs.flushPending = false
+					s.deliverData(cid, true)
+				})
+			}
+			return
+		}
+		chunk, ok := s.cfg.Pair.Pages.Alloc()
+		if !ok {
+			return // huge pages exhausted; credits will retrigger
+		}
+		buf := s.cfg.Pair.Pages.Bytes(chunk)
+		n, eof := cs.conn.Read(buf)
+		if n == 0 {
+			s.cfg.Pair.Pages.Free(chunk)
+			if eof && !cs.eofSent {
+				cs.eofSent = true
+				s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+			}
+			return
+		}
+		cs.recvDebt += n
+		s.stats.DataOut += uint64(n)
+		s.emit(nkchan.Receive, &nqe.Element{
+			Op: nqe.OpNewData, CID: cid,
+			DataOff: chunk.Offset, DataLen: uint32(n),
+		})
+		flush = false // only the first read after a flush may be short
+	}
+}
+
+// pumpSend drains a connection's queued chunks into the stack socket,
+// freeing chunks and returning credit as they are consumed. A
+// configured Shaper gates the drain, enforcing the tenant's throughput
+// allocation.
+func (s *ServiceLib) pumpSend(cs *connState) {
+	if cs.conn == nil || cs.shaperWait {
+		return
+	}
+	for len(cs.sendQ) > 0 {
+		head := &cs.sendQ[0]
+		data := s.cfg.Pair.Pages.Bytes(head.chunk)[head.off:head.size]
+		if s.cfg.Shaper != nil {
+			ok, retry := s.cfg.Shaper.Take(len(data))
+			if !ok {
+				cs.shaperWait = true
+				s.cfg.Clock.AfterFunc(retry, func() {
+					cs.shaperWait = false
+					s.pumpSend(cs)
+				})
+				return
+			}
+		}
+		n := cs.conn.Write(data)
+		if s.cfg.Shaper != nil && n < len(data) {
+			s.cfg.Shaper.Refund(len(data) - n)
+		}
+		head.off += n
+		s.stats.DataIn += uint64(n)
+		if head.off < head.size {
+			return // socket buffer full; OnWritable resumes
+		}
+		s.cfg.Pair.Pages.Free(head.chunk)
+		s.emit(nkchan.Completion, &nqe.Element{
+			Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
+		})
+		cs.sendQ = cs.sendQ[1:]
+	}
+}
+
+func (s *ServiceLib) connClosed(cid uint32, err error) {
+	cs := s.conns[cid]
+	if cs == nil {
+		return
+	}
+	// Flush any remaining readable data first (synchronously — the
+	// coalescing timer must not outlive the connection).
+	s.deliverData(cid, true)
+	if !cs.eofSent {
+		cs.eofSent = true
+		s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: statusFromErr(err)})
+	}
+	// Release still-queued send chunks.
+	for _, c := range cs.sendQ {
+		s.cfg.Pair.Pages.Free(c.chunk)
+	}
+	cs.sendQ = nil
+	delete(s.conns, cid)
+}
+
+// statusFromErr maps stack errors onto the nqe status space carried
+// over the wire-format queues.
+func statusFromErr(err error) nqe.Status {
+	if err == nil {
+		return nqe.StatusOK
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "refused"):
+		return nqe.StatusConnRefused
+	case strings.Contains(msg, "reset"), strings.Contains(msg, "aborted"):
+		return nqe.StatusConnReset
+	case strings.Contains(msg, "timed out"):
+		return nqe.StatusTimeout
+	case strings.Contains(msg, "no route"):
+		return nqe.StatusUnreachable
+	default:
+		return nqe.StatusInvalid
+	}
+}

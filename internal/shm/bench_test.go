@@ -1,0 +1,38 @@
+package shm
+
+import "testing"
+
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r, _ := NewRing(1024, 64)
+	slot := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(slot)
+		r.Dequeue(slot)
+	}
+}
+
+func BenchmarkRingReserveCommit(b *testing.B) {
+	r, _ := NewRing(1024, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := r.Reserve()
+		s[0] = byte(i)
+		r.Commit()
+		r.Front()
+		r.Release()
+	}
+}
+
+func BenchmarkHugePagesAllocFree(b *testing.B) {
+	h, _ := NewHugePages(1, 8<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, ok := h.Alloc()
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		h.Free(c)
+	}
+}

@@ -1,0 +1,108 @@
+package shm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NotifyMode selects how one side of a queue pair learns that the other
+// side produced work. The prototype polls "for simplicity" (§4.1); the
+// design calls for batched interrupts (§3.2), and §5 names the choice as
+// an open efficiency question. Both are implemented so the tradeoff can
+// be measured (see BenchmarkNotifyModes).
+type NotifyMode int
+
+const (
+	// Polling busy-spins on the ring, burning a core for minimum latency.
+	Polling NotifyMode = iota
+	// BatchedInterrupt accumulates rings and wakes the consumer once per
+	// batch, trading latency for CPU.
+	BatchedInterrupt
+)
+
+func (m NotifyMode) String() string {
+	switch m {
+	case Polling:
+		return "polling"
+	case BatchedInterrupt:
+		return "batched-interrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// A Doorbell carries producer→consumer wakeups for one queue direction.
+// Ring is called by the producer after enqueuing; Wait blocks the
+// consumer until at least one wakeup is pending. In BatchedInterrupt mode
+// the wakeup is deferred until batch rings accumulate (or Flush forces
+// it), which is the batching the paper's design describes.
+type Doorbell struct {
+	mode    NotifyMode
+	batch   int32
+	pending atomic.Int32
+	ch      chan struct{}
+}
+
+// NewDoorbell builds a doorbell. batch is the interrupt coalescing factor
+// and is ignored in Polling mode; values below 1 are treated as 1.
+func NewDoorbell(mode NotifyMode, batch int) *Doorbell {
+	if batch < 1 {
+		batch = 1
+	}
+	return &Doorbell{mode: mode, batch: int32(batch), ch: make(chan struct{}, 1)}
+}
+
+// Mode returns the doorbell's notification mode.
+func (d *Doorbell) Mode() NotifyMode { return d.mode }
+
+// Ring records one unit of produced work and wakes the consumer according
+// to the mode's coalescing policy.
+func (d *Doorbell) Ring() {
+	if d.mode == Polling {
+		return // consumer is spinning; nothing to signal
+	}
+	if d.pending.Add(1) >= d.batch {
+		d.fire()
+	}
+}
+
+// Flush delivers any coalesced wakeups immediately. Producers call it
+// when they go idle so a partial batch is not stranded.
+func (d *Doorbell) Flush() {
+	if d.mode == Polling {
+		return
+	}
+	if d.pending.Load() > 0 {
+		d.fire()
+	}
+}
+
+func (d *Doorbell) fire() {
+	d.pending.Store(0)
+	select {
+	case d.ch <- struct{}{}:
+	default: // a wakeup is already pending; coalesce
+	}
+}
+
+// Wait blocks until a wakeup arrives or timeout elapses (timeout <= 0
+// means wait forever). It reports whether a wakeup arrived. In Polling
+// mode Wait returns immediately: the caller is expected to spin on the
+// ring itself.
+func (d *Doorbell) Wait(timeout time.Duration) bool {
+	if d.mode == Polling {
+		return true
+	}
+	if timeout <= 0 {
+		<-d.ch
+		return true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-d.ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}

@@ -1,0 +1,80 @@
+package shm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDoorbellPollingNeverBlocks(t *testing.T) {
+	d := NewDoorbell(Polling, 16)
+	d.Ring()
+	if !d.Wait(time.Second) {
+		t.Fatal("polling Wait must return immediately")
+	}
+}
+
+func TestDoorbellBatching(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 4)
+	for i := 0; i < 3; i++ {
+		d.Ring()
+	}
+	if d.Wait(10 * time.Millisecond) {
+		t.Fatal("woke before the batch filled")
+	}
+	d.Ring() // 4th: fires
+	if !d.Wait(time.Second) {
+		t.Fatal("did not wake once the batch filled")
+	}
+}
+
+func TestDoorbellFlushDeliversPartialBatch(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 100)
+	d.Ring()
+	d.Flush()
+	if !d.Wait(time.Second) {
+		t.Fatal("Flush did not deliver a partial batch")
+	}
+}
+
+func TestDoorbellFlushIdleIsNoop(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 4)
+	d.Flush()
+	if d.Wait(10 * time.Millisecond) {
+		t.Fatal("Flush with nothing pending delivered a wakeup")
+	}
+}
+
+func TestDoorbellCoalesces(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 1)
+	for i := 0; i < 10; i++ {
+		d.Ring()
+	}
+	if !d.Wait(time.Second) {
+		t.Fatal("no wakeup after rings")
+	}
+	// All ten rings collapse into at most one more pending wakeup.
+	extra := 0
+	for d.Wait(5 * time.Millisecond) {
+		extra++
+		if extra > 1 {
+			t.Fatal("wakeups not coalesced")
+		}
+	}
+}
+
+func TestDoorbellBatchClamped(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 0)
+	d.Ring()
+	if !d.Wait(time.Second) {
+		t.Fatal("batch<1 should behave like batch=1")
+	}
+}
+
+func TestNotifyModeString(t *testing.T) {
+	if Polling.String() != "polling" || BatchedInterrupt.String() != "batched-interrupt" {
+		t.Fatal("NotifyMode String broken")
+	}
+	if NotifyMode(42).String() != "unknown" {
+		t.Fatal("unknown mode String broken")
+	}
+}

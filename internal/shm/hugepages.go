@@ -1,0 +1,128 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// A Chunk is a fixed-size window of a huge-page region, identified by its
+// byte offset. Chunks are what nqe data descriptors point at (§3.2): the
+// sender copies application data into a chunk and enqueues an nqe carrying
+// the chunk's offset and length; the receiver reads the bytes back out and
+// frees the chunk.
+type Chunk struct {
+	// Offset is the chunk's byte offset within its region.
+	Offset uint64
+}
+
+// HugePages is a chunk allocator over a shared Region, standing in for
+// the per-VM↔NSM huge-page area. Allocation is a LIFO free list guarded
+// by a mutex, because in the wall-clock domain the guest side allocates
+// while the NSM side frees (and vice versa for receive).
+type HugePages struct {
+	region    *Region
+	chunkSize int
+
+	mu    sync.Mutex
+	free  []int32
+	inUse []bool
+}
+
+// NewHugePages builds an allocator of pages×PageSize bytes divided into
+// chunkSize chunks. chunkSize must divide PageSize.
+func NewHugePages(pages, chunkSize int) (*HugePages, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("shm: non-positive page count %d", pages)
+	}
+	if chunkSize <= 0 || PageSize%chunkSize != 0 {
+		return nil, fmt.Errorf("shm: chunk size %d must be positive and divide the %d-byte page", chunkSize, PageSize)
+	}
+	n := pages * (PageSize / chunkSize)
+	h := &HugePages{
+		region:    NewRegion(pages * PageSize),
+		chunkSize: chunkSize,
+		free:      make([]int32, n),
+		inUse:     make([]bool, n),
+	}
+	// LIFO free list: hand back the lowest chunks first for cache warmth.
+	for i := range h.free {
+		h.free[i] = int32(n - 1 - i)
+	}
+	return h, nil
+}
+
+// ChunkSize returns the fixed chunk size in bytes.
+func (h *HugePages) ChunkSize() int { return h.chunkSize }
+
+// Chunks returns the total number of chunks.
+func (h *HugePages) Chunks() int { return len(h.inUse) }
+
+// FreeCount returns the number of chunks currently available.
+func (h *HugePages) FreeCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.free)
+}
+
+// Alloc reserves one chunk. It reports false when the region is full,
+// which callers treat as backpressure (§3.2: the sender stalls until the
+// receiver consumes and frees).
+func (h *HugePages) Alloc() (Chunk, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.free)
+	if n == 0 {
+		return Chunk{}, false
+	}
+	idx := h.free[n-1]
+	h.free = h.free[:n-1]
+	h.inUse[idx] = true
+	return Chunk{Offset: uint64(idx) * uint64(h.chunkSize)}, true
+}
+
+// Free returns a chunk to the allocator. Double frees and misaligned
+// offsets panic: both indicate descriptor corruption, which in a real
+// deployment would be a guest escaping its huge-page window.
+func (h *HugePages) Free(c Chunk) {
+	idx := h.index(c)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.inUse[idx] {
+		panic(fmt.Sprintf("shm: double free of chunk at offset %d", c.Offset))
+	}
+	h.inUse[idx] = false
+	h.free = append(h.free, idx)
+}
+
+func (h *HugePages) index(c Chunk) int32 {
+	if c.Offset%uint64(h.chunkSize) != 0 || c.Offset >= uint64(h.region.Size()) {
+		panic(fmt.Sprintf("shm: chunk offset %d invalid for chunk size %d, region %d", c.Offset, h.chunkSize, h.region.Size()))
+	}
+	return int32(c.Offset / uint64(h.chunkSize))
+}
+
+// Bytes returns the chunk's full window. The slice aliases shared memory.
+func (h *HugePages) Bytes(c Chunk) []byte {
+	b, err := h.region.Slice(int(c.Offset), h.chunkSize)
+	if err != nil {
+		panic("shm: " + err.Error())
+	}
+	return b
+}
+
+// Write copies data into the chunk and returns the number of bytes
+// copied, truncating at the chunk size. This is GuestLib's send-side copy
+// (§3.2: "GuestLib intercepts the call and puts the data into the huge
+// pages").
+func (h *HugePages) Write(c Chunk, data []byte) int {
+	return copy(h.Bytes(c), data)
+}
+
+// Read copies n bytes of the chunk into buf, returning the number copied.
+// This is the receive-side copy out of the huge pages.
+func (h *HugePages) Read(c Chunk, buf []byte, n int) int {
+	if n > h.chunkSize {
+		n = h.chunkSize
+	}
+	return copy(buf, h.Bytes(c)[:n])
+}

@@ -1,0 +1,116 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a single-producer single-consumer ring buffer of fixed-size
+// slots, the in-memory equivalent of the prototype's small IVSHMEM queue
+// devices (§4.1: "The queues are ring buffers implemented as much smaller
+// IVSHMEM devices"). One goroutine may produce while another consumes
+// without locks; head and tail live on separate cache lines to avoid
+// false sharing on the hot path.
+type Ring struct {
+	slotSize int
+	mask     uint64
+	buf      []byte
+
+	_    [64]byte // keep head and tail on distinct cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+}
+
+// NewRing builds a ring of slots entries of slotSize bytes each. slots
+// must be a power of two.
+func NewRing(slots, slotSize int) (*Ring, error) {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		return nil, fmt.Errorf("shm: slot count %d is not a positive power of two", slots)
+	}
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("shm: non-positive slot size %d", slotSize)
+	}
+	return &Ring{
+		slotSize: slotSize,
+		mask:     uint64(slots - 1),
+		buf:      make([]byte, slots*slotSize),
+	}, nil
+}
+
+// Cap returns the slot count.
+func (r *Ring) Cap() int { return int(r.mask + 1) }
+
+// SlotSize returns the slot size in bytes.
+func (r *Ring) SlotSize() int { return r.slotSize }
+
+// Len returns the number of occupied slots. It is approximate when
+// producer and consumer run concurrently but exact when quiescent.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Empty reports whether no slot is occupied.
+func (r *Ring) Empty() bool { return r.tail.Load() == r.head.Load() }
+
+// Full reports whether every slot is occupied.
+func (r *Ring) Full() bool { return r.tail.Load()-r.head.Load() > r.mask }
+
+func (r *Ring) slot(pos uint64) []byte {
+	off := int(pos&r.mask) * r.slotSize
+	return r.buf[off : off+r.slotSize : off+r.slotSize]
+}
+
+// Reserve returns the next producer slot for in-place writing, or false
+// if the ring is full. The slot is not visible to the consumer until
+// Commit. Only the producer goroutine may call Reserve/Commit.
+func (r *Ring) Reserve() ([]byte, bool) {
+	tail := r.tail.Load()
+	if tail-r.head.Load() > r.mask {
+		return nil, false
+	}
+	return r.slot(tail), true
+}
+
+// Commit publishes the slot returned by the last Reserve.
+func (r *Ring) Commit() { r.tail.Add(1) }
+
+// Front returns the oldest occupied slot for in-place reading, or false
+// if the ring is empty. The slot remains occupied until Release. Only the
+// consumer goroutine may call Front/Release.
+func (r *Ring) Front() ([]byte, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil, false
+	}
+	return r.slot(head), true
+}
+
+// Release frees the slot returned by the last Front.
+func (r *Ring) Release() { r.head.Add(1) }
+
+// Enqueue copies src into the next free slot. src must be at most one
+// slot long. It reports false when the ring is full.
+func (r *Ring) Enqueue(src []byte) bool {
+	if len(src) > r.slotSize {
+		panic(fmt.Sprintf("shm: enqueue of %d bytes into %d-byte slots", len(src), r.slotSize))
+	}
+	slot, ok := r.Reserve()
+	if !ok {
+		return false
+	}
+	copy(slot, src)
+	r.Commit()
+	return true
+}
+
+// Dequeue copies the oldest slot into dst. It reports false when the ring
+// is empty.
+func (r *Ring) Dequeue(dst []byte) bool {
+	slot, ok := r.Front()
+	if !ok {
+		return false
+	}
+	copy(dst, slot)
+	r.Release()
+	return true
+}

@@ -1,0 +1,208 @@
+package shm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	for _, slots := range []int{0, -1, 3, 6, 1000} {
+		if _, err := NewRing(slots, 64); err == nil {
+			t.Errorf("NewRing(%d, 64) accepted a non-power-of-two", slots)
+		}
+	}
+	if _, err := NewRing(8, 0); err == nil {
+		t.Error("NewRing accepted zero slot size")
+	}
+	r, err := NewRing(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 8 || r.SlotSize() != 64 {
+		t.Fatalf("Cap/SlotSize = %d/%d, want 8/64", r.Cap(), r.SlotSize())
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r, _ := NewRing(4, 8)
+	for i := 0; i < 100; i++ {
+		var in [8]byte
+		binary.LittleEndian.PutUint64(in[:], uint64(i))
+		if !r.Enqueue(in[:]) {
+			t.Fatalf("enqueue %d failed on non-full ring", i)
+		}
+		var out [8]byte
+		if !r.Dequeue(out[:]) {
+			t.Fatalf("dequeue %d failed on non-empty ring", i)
+		}
+		if out != in {
+			t.Fatalf("dequeue %d = %v, want %v", i, out, in)
+		}
+	}
+}
+
+func TestRingFullAndEmpty(t *testing.T) {
+	r, _ := NewRing(4, 1)
+	if !r.Empty() || r.Full() {
+		t.Fatal("fresh ring should be empty and not full")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue([]byte{byte(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if !r.Full() || r.Len() != 4 {
+		t.Fatalf("ring should be full with 4; Len = %d", r.Len())
+	}
+	if r.Enqueue([]byte{9}) {
+		t.Fatal("enqueue succeeded on full ring")
+	}
+	var b [1]byte
+	for i := 0; i < 4; i++ {
+		if !r.Dequeue(b[:]) || b[0] != byte(i) {
+			t.Fatalf("dequeue %d got %d", i, b[0])
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be empty after draining")
+	}
+	if r.Dequeue(b[:]) {
+		t.Fatal("dequeue succeeded on empty ring")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, _ := NewRing(2, 4)
+	next := byte(0)
+	for round := 0; round < 50; round++ {
+		for r.Enqueue([]byte{next, next, next, next}) {
+			next++
+		}
+		var b [4]byte
+		for r.Dequeue(b[:]) {
+			if b[0] != b[3] {
+				t.Fatal("slot torn across wraparound")
+			}
+		}
+	}
+}
+
+func TestRingReserveCommitZeroCopy(t *testing.T) {
+	r, _ := NewRing(4, 16)
+	slot, ok := r.Reserve()
+	if !ok {
+		t.Fatal("Reserve failed on empty ring")
+	}
+	copy(slot, "hello")
+	// Not yet visible.
+	if _, ok := r.Front(); ok {
+		t.Fatal("uncommitted slot visible to consumer")
+	}
+	r.Commit()
+	front, ok := r.Front()
+	if !ok || !bytes.HasPrefix(front, []byte("hello")) {
+		t.Fatalf("Front = %q, %v", front, ok)
+	}
+	r.Release()
+	if !r.Empty() {
+		t.Fatal("ring not empty after Release")
+	}
+}
+
+func TestRingOversizeEnqueuePanics(t *testing.T) {
+	r, _ := NewRing(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize enqueue did not panic")
+		}
+	}()
+	r.Enqueue(make([]byte, 5))
+}
+
+// Property: any interleaving of enqueues and dequeues preserves FIFO
+// content and never exceeds capacity.
+func TestRingQuickFIFO(t *testing.T) {
+	err := quick.Check(func(ops []bool) bool {
+		r, _ := NewRing(8, 8)
+		var model [][8]byte
+		next := uint64(0)
+		for _, enq := range ops {
+			if enq {
+				var in [8]byte
+				binary.LittleEndian.PutUint64(in[:], next)
+				if r.Enqueue(in[:]) {
+					model = append(model, in)
+					next++
+				} else if len(model) != 8 {
+					return false // refused while not full
+				}
+			} else {
+				var out [8]byte
+				if r.Dequeue(out[:]) {
+					if len(model) == 0 || out != model[0] {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false // refused while not empty
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// One producer and one consumer hammer the ring concurrently; every value
+// must arrive exactly once, in order. Run with -race to check the
+// publication protocol.
+func TestRingSPSCConcurrent(t *testing.T) {
+	r, _ := NewRing(64, 8)
+	const n = 20000
+	errc := make(chan error, 1)
+	go func() {
+		var in [8]byte
+		for i := uint64(0); i < n; i++ {
+			binary.LittleEndian.PutUint64(in[:], i)
+			for !r.Enqueue(in[:]) {
+				runtime.Gosched() // single-core hosts need the yield
+			}
+		}
+	}()
+	go func() {
+		var out [8]byte
+		for i := uint64(0); i < n; i++ {
+			for !r.Dequeue(out[:]) {
+				runtime.Gosched()
+			}
+			if got := binary.LittleEndian.Uint64(out[:]); got != i {
+				errc <- errValue{i, got}
+				return
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SPSC exchange timed out")
+	}
+}
+
+type errValue struct{ want, got uint64 }
+
+func (e errValue) Error() string {
+	return "out-of-order value"
+}

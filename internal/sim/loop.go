@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Loop is a deterministic discrete-event loop implementing Clock in
+// virtual time. Events scheduled for the same instant run in scheduling
+// order. Loop is not safe for concurrent use: everything that touches a
+// Loop must run either before Run/RunFor or from inside its callbacks.
+type Loop struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	free   []*event // recycled event structs
+	nrun   uint64
+}
+
+// NewLoop returns an empty loop positioned at time zero.
+func NewLoop() *Loop {
+	return &Loop{events: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Processed returns the number of callbacks executed so far, which is
+// useful for cost accounting in tests and benchmarks.
+func (l *Loop) Processed() uint64 { return l.nrun }
+
+// Pending returns the number of scheduled (possibly stopped) events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// AfterFunc schedules fn to run once d has elapsed in virtual time.
+func (l *Loop) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	e := l.at(l.now.Add(d), fn)
+	return loopTimer{e: e, seq: e.seq}
+}
+
+// Post schedules fn to run at the current instant, after events already
+// pending for it.
+func (l *Loop) Post(fn func()) { l.at(l.now, fn) }
+
+func (l *Loop) at(t Time, fn func()) *event {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, l.now))
+	}
+	var e *event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	l.seq++
+	*e = event{at: t, seq: l.seq, fn: fn, loop: l, idx: -1}
+	heap.Push(&l.events, e)
+	return e
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// instant. It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		e := heap.Pop(&l.events).(*event)
+		fn, stopped := e.fn, e.stopped
+		e.fn = nil
+		e.loop = nil
+		l.free = append(l.free, e)
+		if stopped {
+			continue
+		}
+		if e.at > l.now {
+			l.now = e.at
+		}
+		l.nrun++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// pruneStopped discards cancelled events sitting at the top of the heap
+// so time-bounded runs never mistake them for runnable work.
+func (l *Loop) pruneStopped() {
+	for len(l.events) > 0 && l.events[0].stopped {
+		e := heap.Pop(&l.events).(*event)
+		e.fn = nil
+		e.loop = nil
+		l.free = append(l.free, e)
+	}
+}
+
+// RunUntil executes every event scheduled at or before t, then advances
+// the clock to t.
+func (l *Loop) RunUntil(t Time) {
+	for {
+		l.pruneStopped()
+		if len(l.events) == 0 || l.events[0].at > t {
+			break
+		}
+		l.Step()
+	}
+	if t > l.now {
+		l.now = t
+	}
+}
+
+// RunFor executes everything within the next d of virtual time and
+// advances the clock by exactly d.
+func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now.Add(d)) }
+
+// event is a scheduled callback. Cancellation is lazy: Stop marks the
+// event and Step discards marked events when they surface. Event structs
+// are recycled, so Timer handles carry the sequence number they were
+// issued for; a stale handle (its event already ran and was reissued)
+// becomes a no-op instead of cancelling an unrelated event.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	loop    *Loop
+	idx     int
+	stopped bool
+}
+
+type loopTimer struct {
+	e   *event
+	seq uint64
+}
+
+// Stop implements Timer.
+func (t loopTimer) Stop() bool {
+	e := t.e
+	if e.seq != t.seq || e.loop == nil || e.stopped || e.fn == nil {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// RealClock implements Clock against the wall clock. Callbacks are
+// serialized by an internal mutex, mirroring the single-threaded execution
+// guarantee of Loop, so stack state needs no extra locking in either
+// domain.
+type RealClock struct {
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewRealClock returns a wall clock whose epoch is now.
+func NewRealClock() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// Now returns the wall-clock time since the epoch.
+func (c *RealClock) Now() Time { return Time(time.Since(c.start)) }
+
+// AfterFunc schedules fn after d of wall-clock time.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+	return realTimer{t}
+}
+
+// Post runs fn on a fresh goroutine under the clock's serialization lock.
+func (c *RealClock) Post(fn func()) {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	}()
+}
+
+// Locked runs fn under the clock's serialization lock from the calling
+// goroutine, letting external code interact safely with state owned by
+// the clock's callbacks.
+func (c *RealClock) Locked(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn()
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }

@@ -1,0 +1,42 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/netsim"
+	"netkernel/internal/proto/tcp"
+)
+
+// TestConnectSurvivesLostARP drops the very first frame of a
+// connection attempt — the ARP request — and verifies resolution
+// retries rescue the handshake (previously a permanent stall).
+func TestConnectSurvivesLostARP(t *testing.T) {
+	p := newPair(t, fastLink(), nil)
+	// Drop exactly the first frame host A transmits (the ARP request).
+	dropped := false
+	origTx := p.a.iface.tx
+	p.a.iface.tx = func(f []byte) {
+		if !dropped {
+			dropped = true
+			return
+		}
+		origTx(f)
+	}
+	p.b.Listen(80, 4, SocketOptions{})
+	var est error = errPending
+	_, err := p.a.Dial(tcp.AddrPort{Addr: ipB, Port: 80}, SocketOptions{
+		OnEstablished: func(e error) { est = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.loop.RunFor(5 * time.Second)
+	if !dropped {
+		t.Fatal("no frame was dropped")
+	}
+	if est != nil {
+		t.Fatalf("connection never recovered from the lost ARP request: %v", est)
+	}
+	_ = netsim.EthernetOverhead
+}

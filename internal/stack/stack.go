@@ -1,0 +1,402 @@
+// Package stack assembles the protocol layers into a host network
+// stack: interfaces with ARP resolution, IPv4 input/output with
+// fragmentation, ICMP echo, UDP sockets, and TCP connections with
+// pluggable congestion control.
+//
+// A Stack instance is exactly what a Network Stack Module hosts (the
+// paper ports Linux 4.9's stack into its NSMs, §4.1) and also what the
+// legacy baseline runs inside the guest (Figure 2a). Packet processing
+// can be charged to a netsim.CPU to model per-core capacity, which is
+// what bounds single-flow throughput in Figure 4.
+package stack
+
+import (
+	"fmt"
+	"time"
+
+	"netkernel/internal/netsim"
+	"netkernel/internal/proto/arp"
+	"netkernel/internal/proto/ethernet"
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/proto/tcp"
+	"netkernel/internal/sim"
+	"netkernel/internal/tcpcc"
+)
+
+// Config parameterizes a stack.
+type Config struct {
+	Clock sim.Clock
+	RNG   *sim.RNG
+	// Name labels the stack in stats and errors.
+	Name string
+
+	// CPU, when set, charges PerPacketCost of core time per packet in
+	// each direction, with flows steered to cores RSS-style. This is
+	// the per-core processing model behind Figure 4's single-flow cap.
+	CPU           *netsim.CPU
+	PerPacketCost time.Duration
+	// RoundRobinCores steers each new flow to the least-recently-
+	// assigned core instead of hashing, guaranteeing up to NumCores
+	// concurrent flows never share a core (manual pinning, as the
+	// paper's testbed does). Hash steering (the default) is what
+	// commodity RSS gives.
+	RoundRobinCores bool
+
+	// DefaultCC names the congestion control used when a dial or
+	// listen does not specify one. Default "cubic" (the Linux default).
+	DefaultCC string
+
+	// TCP knobs passed through to connections.
+	MinRTO            time.Duration
+	MSL               time.Duration
+	DelayedAckTimeout time.Duration
+	SendBufSize       int
+	RecvBufSize       int
+	TTL               uint8
+}
+
+func (c *Config) fillDefaults() {
+	if c.DefaultCC == "" {
+		c.DefaultCC = "cubic"
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+}
+
+// Stats counts stack-level activity.
+type Stats struct {
+	FramesIn, FramesOut   uint64
+	IPIn, IPOut           uint64
+	TCPSegsIn, UDPIn      uint64
+	ICMPIn                uint64
+	DroppedNoRoute        uint64
+	DroppedBadPacket      uint64
+	DroppedNoSocket       uint64
+	ARPRequests, ARPReply uint64
+}
+
+// Stack is one host's network stack.
+type Stack struct {
+	cfg   Config
+	iface *Iface // single-homed: one interface per stack instance
+
+	arpCache *arp.Cache
+	reasm    *ipv4.Reassembler
+
+	conns     map[fourTuple]*tcp.Conn
+	listeners map[uint16]*listenEntry
+	udpSocks  map[uint16]*UDPSocket
+	pings     map[uint32]*pingWaiter
+
+	ipID     uint16
+	nextPort uint16
+	nextPing uint16
+	gateway  ipv4.Addr
+	maskBits int
+	stats    Stats
+
+	flowCore map[uint32]int // RoundRobinCores assignment table
+	nextCore int
+}
+
+type listenEntry struct {
+	listener *tcp.Listener
+	opts     SocketOptions
+	// handshaking counts passive connections still in SYN-RCVD; they
+	// occupy backlog slots so a SYN flood cannot conjure unbounded
+	// connection state.
+	handshaking int
+}
+
+type fourTuple struct {
+	localIP    ipv4.Addr
+	localPort  uint16
+	remoteIP   ipv4.Addr
+	remotePort uint16
+}
+
+// New builds a stack.
+func New(cfg Config) *Stack {
+	cfg.fillDefaults()
+	if cfg.Clock == nil {
+		panic("stack: Config.Clock required")
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(0x5eed)
+	}
+	s := &Stack{
+		cfg:       cfg,
+		arpCache:  arp.NewCache(cfg.Clock, 0),
+		reasm:     ipv4.NewReassembler(0),
+		conns:     make(map[fourTuple]*tcp.Conn),
+		listeners: make(map[uint16]*listenEntry),
+		udpSocks:  make(map[uint16]*UDPSocket),
+		pings:     make(map[uint32]*pingWaiter),
+		nextPort:  49152,
+		flowCore:  make(map[uint32]int),
+	}
+	s.arpCache.Request = s.sendARPRequest
+	return s
+}
+
+// Iface is the stack's network interface.
+type Iface struct {
+	stack *Stack
+	MAC   ethernet.MAC
+	IP    ipv4.Addr
+	MTU   int
+	tx    func(frame []byte)
+}
+
+// AttachInterface configures the stack's interface: its addresses, MTU,
+// the netmask length of the local subnet, the default gateway (zero for
+// none), and the transmit function (a netsim NIC, VF, or switch port).
+func (s *Stack) AttachInterface(mac ethernet.MAC, ip ipv4.Addr, mtu, maskBits int, gw ipv4.Addr, tx func(frame []byte)) *Iface {
+	if mtu <= 0 {
+		mtu = ethernet.MTU
+	}
+	s.iface = &Iface{stack: s, MAC: mac, IP: ip, MTU: mtu, tx: tx}
+	s.maskBits = maskBits
+	s.gateway = gw
+	return s.iface
+}
+
+// Interface returns the attached interface (nil before AttachInterface).
+func (s *Stack) Interface() *Iface { return s.iface }
+
+// Stats returns a copy of the stack counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// Name returns the stack's label.
+func (s *Stack) Name() string { return s.cfg.Name }
+
+// Clock returns the stack's clock.
+func (s *Stack) Clock() sim.Clock { return s.cfg.Clock }
+
+// MSS returns the TCP maximum segment size for the attached interface.
+func (s *Stack) MSS() int {
+	return s.iface.MTU - ipv4.HeaderLen - tcp.MinHeaderLen
+}
+
+// SetDefaultCC changes the congestion control used when sockets do not
+// name one — e.g. a Linux guest switching its kernel default to BBR
+// via sysctl. Existing connections are unaffected.
+func (s *Stack) SetDefaultCC(name string) { s.cfg.DefaultCC = name }
+
+// DefaultCC returns the stack's default congestion control.
+func (s *Stack) DefaultCC() string { return s.cfg.DefaultCC }
+
+func sameSubnet(a, b ipv4.Addr, bits int) bool {
+	if bits <= 0 {
+		return true
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	au := uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	bu := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	mask := ^uint32(0) << (32 - bits)
+	return au&mask == bu&mask
+}
+
+// nextHop picks the neighbor to ARP for: the destination itself when
+// on-link, else the default gateway.
+func (s *Stack) nextHop(dst ipv4.Addr) (ipv4.Addr, error) {
+	if sameSubnet(dst, s.iface.IP, s.maskBits) {
+		return dst, nil
+	}
+	if s.gateway.IsZero() {
+		return ipv4.Addr{}, fmt.Errorf("stack %s: no route to %v", s.cfg.Name, dst)
+	}
+	return s.gateway, nil
+}
+
+// DeliverFrame is the interface's receive entry point; wire it to the
+// NIC/VF handler. Processing is charged to the configured CPU.
+func (s *Stack) DeliverFrame(frame []byte) {
+	s.stats.FramesIn++
+	if s.cfg.CPU == nil || s.cfg.PerPacketCost <= 0 {
+		s.processFrame(frame)
+		return
+	}
+	s.cfg.CPU.Dispatch(s.coreFor(rssHash(frame)), s.cfg.PerPacketCost, func() { s.processFrame(frame) })
+}
+
+// coreFor maps a flow hash to a core: directly (RSS) or via a
+// round-robin assignment table (manual pinning).
+func (s *Stack) coreFor(hash uint32) int {
+	if !s.cfg.RoundRobinCores {
+		return int(hash)
+	}
+	if core, ok := s.flowCore[hash]; ok {
+		return core
+	}
+	core := s.nextCore
+	s.nextCore++
+	if s.cfg.CPU != nil && s.nextCore >= s.cfg.CPU.Cores() {
+		s.nextCore = 0
+	}
+	s.flowCore[hash] = core
+	return core
+}
+
+// rssHash steers a frame to a core by hashing its flow fields, like NIC
+// receive-side scaling: all segments of one flow share a core.
+func rssHash(frame []byte) uint32 {
+	// IPv4 src/dst live at 26..34, ports at 34..38 of an Ethernet frame.
+	var h uint32 = 2166136261
+	end := 38
+	if end > len(frame) {
+		end = len(frame)
+	}
+	for _, b := range frame[26:end] {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+func (s *Stack) processFrame(frame []byte) {
+	eh, payload, err := ethernet.Parse(frame)
+	if err != nil {
+		s.stats.DroppedBadPacket++
+		return
+	}
+	if eh.Dst != s.iface.MAC && !eh.Dst.IsBroadcast() {
+		return // not ours (promiscuous fabric)
+	}
+	switch eh.Type {
+	case ethernet.TypeARP:
+		s.processARP(payload)
+	case ethernet.TypeIPv4:
+		s.processIPv4(payload)
+	default:
+		s.stats.DroppedBadPacket++
+	}
+}
+
+func (s *Stack) processARP(pkt []byte) {
+	p, err := arp.Parse(pkt)
+	if err != nil {
+		s.stats.DroppedBadPacket++
+		return
+	}
+	// Opportunistic learning.
+	s.arpCache.Learn(p.SenderIP, p.SenderMAC)
+	if p.Op == arp.OpRequest && p.TargetIP == s.iface.IP {
+		s.stats.ARPReply++
+		reply := arp.Packet{
+			Op:        arp.OpReply,
+			SenderMAC: s.iface.MAC,
+			SenderIP:  s.iface.IP,
+			TargetMAC: p.SenderMAC,
+			TargetIP:  p.SenderIP,
+		}
+		s.sendEthernet(p.SenderMAC, ethernet.TypeARP, marshalARP(&reply))
+	}
+}
+
+func marshalARP(p *arp.Packet) []byte {
+	b := make([]byte, arp.PacketLen)
+	p.Marshal(b)
+	return b
+}
+
+func (s *Stack) processIPv4(pkt []byte) {
+	h, payload, err := ipv4.Parse(pkt)
+	if err != nil {
+		s.stats.DroppedBadPacket++
+		return
+	}
+	if h.Dst != s.iface.IP {
+		return // we are a host, not a router
+	}
+	s.stats.IPIn++
+	full, done := s.reasm.Add(h, payload, s.cfg.Clock.Now())
+	if !done {
+		return
+	}
+	ce := h.ECN() == ipv4.ECNCE
+	switch h.Proto {
+	case ipv4.ProtoTCP:
+		s.processTCP(h.Src, full, ce)
+	case ipv4.ProtoUDP:
+		s.processUDP(h.Src, full)
+	case ipv4.ProtoICMP:
+		s.processICMP(h.Src, full)
+	default:
+		s.stats.DroppedNoSocket++
+	}
+}
+
+// sendEthernet frames and transmits a payload to a resolved MAC.
+func (s *Stack) sendEthernet(dst ethernet.MAC, typ ethernet.EtherType, payload []byte) {
+	frame := make([]byte, ethernet.HeaderLen+len(payload))
+	eh := ethernet.Header{Dst: dst, Src: s.iface.MAC, Type: typ}
+	eh.Marshal(frame)
+	copy(frame[ethernet.HeaderLen:], payload)
+	s.stats.FramesOut++
+	if s.cfg.CPU != nil && s.cfg.PerPacketCost > 0 {
+		s.cfg.CPU.Dispatch(s.coreFor(rssHash(frame)), s.cfg.PerPacketCost, func() { s.iface.tx(frame) })
+		return
+	}
+	s.iface.tx(frame)
+}
+
+// sendIPv4 routes, resolves, fragments if needed, and transmits one IP
+// datagram. Packets awaiting ARP resolution are sent when it completes.
+func (s *Stack) sendIPv4(dst ipv4.Addr, proto uint8, tos uint8, payload []byte) error {
+	hop, err := s.nextHop(dst)
+	if err != nil {
+		s.stats.DroppedNoRoute++
+		return err
+	}
+	s.ipID++
+	h := ipv4.Header{
+		TOS:   tos,
+		ID:    s.ipID,
+		TTL:   s.cfg.TTL,
+		Proto: proto,
+		Src:   s.iface.IP,
+		Dst:   dst,
+	}
+	pkts, err := ipv4.Fragment(h, payload, s.iface.MTU)
+	if err != nil {
+		return fmt.Errorf("stack %s: %w", s.cfg.Name, err)
+	}
+	s.stats.IPOut += uint64(len(pkts))
+
+	send := func(mac ethernet.MAC) {
+		for _, p := range pkts {
+			s.sendEthernet(mac, ethernet.TypeIPv4, p)
+		}
+	}
+	if mac, ok := s.arpCache.Lookup(hop); ok {
+		send(mac)
+		return nil
+	}
+	if first := s.arpCache.Await(hop, send); first {
+		s.sendARPRequest(hop)
+	}
+	return nil
+}
+
+func (s *Stack) sendARPRequest(target ipv4.Addr) {
+	s.stats.ARPRequests++
+	req := arp.Packet{
+		Op:        arp.OpRequest,
+		SenderMAC: s.iface.MAC,
+		SenderIP:  s.iface.IP,
+		TargetIP:  target,
+	}
+	s.sendEthernet(ethernet.Broadcast, ethernet.TypeARP, marshalARP(&req))
+}
+
+// ccByName builds a congestion-control instance, falling back to the
+// stack default.
+func (s *Stack) ccByName(name string) (tcpcc.Algorithm, error) {
+	if name == "" {
+		name = s.cfg.DefaultCC
+	}
+	return tcpcc.New(name)
+}

@@ -1,0 +1,221 @@
+package stack
+
+import (
+	"fmt"
+
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/proto/tcp"
+	"netkernel/internal/tcpcc"
+)
+
+// SocketOptions shape a TCP socket created through the stack.
+type SocketOptions struct {
+	// CC names the congestion control ("" = stack default).
+	CC string
+	// SendBufSize / RecvBufSize override the stack defaults when > 0.
+	SendBufSize, RecvBufSize int
+	// Nagle enables small-segment coalescing.
+	Nagle bool
+
+	// Callbacks, delivered on the stack's clock executor.
+	OnEstablished func(err error)
+	OnReadable    func()
+	OnWritable    func()
+	OnClose       func(err error)
+}
+
+// Dial opens an active TCP connection to remote.
+func (s *Stack) Dial(remote tcp.AddrPort, opts SocketOptions) (*tcp.Conn, error) {
+	if s.iface == nil {
+		return nil, fmt.Errorf("stack %s: no interface attached", s.cfg.Name)
+	}
+	cc, err := s.ccByName(opts.CC)
+	if err != nil {
+		return nil, err
+	}
+	port, err := s.allocPort(remote)
+	if err != nil {
+		return nil, err
+	}
+	local := tcp.AddrPort{Addr: s.iface.IP, Port: port}
+	key := fourTuple{local.Addr, local.Port, remote.Addr, remote.Port}
+	cfg := s.connConfig(local, remote, cc, opts)
+	conn := tcp.Dial(cfg)
+	conn.SetOwnerHook(func() { delete(s.conns, key) })
+	s.conns[key] = conn
+	return conn, nil
+}
+
+// Listen opens a TCP listener on port. Accepted connections inherit
+// opts (congestion control, buffers); per-connection callbacks are
+// attached after Accept with Conn.SetCallbacks.
+func (s *Stack) Listen(port uint16, backlog int, opts SocketOptions) (*tcp.Listener, error) {
+	if s.iface == nil {
+		return nil, fmt.Errorf("stack %s: no interface attached", s.cfg.Name)
+	}
+	if _, used := s.listeners[port]; used {
+		return nil, fmt.Errorf("stack %s: port %d already listening", s.cfg.Name, port)
+	}
+	l := tcp.NewListener(tcp.AddrPort{Addr: s.iface.IP, Port: port}, backlog)
+	s.listeners[port] = &listenEntry{listener: l, opts: opts}
+	return l, nil
+}
+
+// CloseListener stops accepting on port.
+func (s *Stack) CloseListener(port uint16) { delete(s.listeners, port) }
+
+// ConnCount returns the number of live TCP connections (monitoring).
+func (s *Stack) ConnCount() int { return len(s.conns) }
+
+// Conns invokes fn for every live connection (monitoring/accounting).
+func (s *Stack) Conns(fn func(c *tcp.Conn)) {
+	for _, c := range s.conns {
+		fn(c)
+	}
+}
+
+func (s *Stack) connConfig(local, remote tcp.AddrPort, ccAlg tcpcc.Algorithm, opts SocketOptions) tcp.Config {
+	cfg := tcp.Config{
+		Clock:             s.cfg.Clock,
+		RNG:               s.cfg.RNG,
+		Local:             local,
+		Remote:            remote,
+		MSS:               s.MSS(),
+		SendBufSize:       s.cfg.SendBufSize,
+		RecvBufSize:       s.cfg.RecvBufSize,
+		CC:                ccAlg,
+		MinRTO:            s.cfg.MinRTO,
+		MSL:               s.cfg.MSL,
+		DelayedAckTimeout: s.cfg.DelayedAckTimeout,
+		Nagle:             opts.Nagle,
+		Output:            s.tcpOutput(local, remote),
+		OnEstablished:     opts.OnEstablished,
+		OnReadable:        opts.OnReadable,
+		OnWritable:        opts.OnWritable,
+		OnClose:           opts.OnClose,
+	}
+	if opts.SendBufSize > 0 {
+		cfg.SendBufSize = opts.SendBufSize
+	}
+	if opts.RecvBufSize > 0 {
+		cfg.RecvBufSize = opts.RecvBufSize
+	}
+	return cfg
+}
+
+func (s *Stack) tcpOutput(local, remote tcp.AddrPort) tcp.OutputFunc {
+	return func(h *tcp.Header, payload []byte, ecnCapable bool) {
+		seg := h.Marshal(local.Addr, remote.Addr, payload)
+		var tos uint8
+		if ecnCapable {
+			tos = ipv4.ECNECT0
+		}
+		// Routing errors surface as drops; TCP's own retransmission
+		// handles transient ones.
+		_ = s.sendIPv4(remote.Addr, ipv4.ProtoTCP, tos, seg)
+	}
+}
+
+func (s *Stack) processTCP(src ipv4.Addr, seg []byte, ce bool) {
+	h, payload, err := tcp.Parse(src, s.iface.IP, seg)
+	if err != nil {
+		s.stats.DroppedBadPacket++
+		return
+	}
+	s.stats.TCPSegsIn++
+	key := fourTuple{s.iface.IP, h.DstPort, src, h.SrcPort}
+	if conn, ok := s.conns[key]; ok {
+		conn.Input(&h, payload, ce)
+		return
+	}
+
+	// No connection: a SYN may match a listener.
+	if h.Flags&tcp.FlagSYN != 0 && h.Flags&tcp.FlagACK == 0 {
+		if le, ok := s.listeners[h.DstPort]; ok {
+			if le.listener.Full() || le.listener.Pending()+le.handshaking >= le.listener.MaxBacklog() {
+				return // listen-queue overflow: silently drop the SYN
+			}
+			s.acceptSYN(le, key, &h)
+			return
+		}
+	}
+	s.stats.DroppedNoSocket++
+	s.sendRST(src, &h, len(payload))
+}
+
+func (s *Stack) acceptSYN(le *listenEntry, key fourTuple, syn *tcp.Header) {
+	cc, err := s.ccByName(le.opts.CC)
+	if err != nil {
+		return
+	}
+	local := tcp.AddrPort{Addr: key.localIP, Port: key.localPort}
+	remote := tcp.AddrPort{Addr: key.remoteIP, Port: key.remotePort}
+	cfg := s.connConfig(local, remote, cc, le.opts)
+	lst := le.listener
+	le.handshaking++
+	var conn *tcp.Conn
+	cfg.OnEstablished = func(err error) {
+		le.handshaking--
+		if err == nil && conn != nil {
+			lst.Deposit(conn)
+		}
+		if le.opts.OnEstablished != nil {
+			le.opts.OnEstablished(err)
+		}
+	}
+	ecnReq := syn.Flags&tcp.FlagECE != 0 && syn.Flags&tcp.FlagCWR != 0
+	conn = tcp.NewPassive(cfg, syn, ecnReq)
+	conn.SetOwnerHook(func() { delete(s.conns, key) })
+	s.conns[key] = conn
+}
+
+// sendRST answers a stray segment per RFC 793 §3.4.
+func (s *Stack) sendRST(src ipv4.Addr, h *tcp.Header, payloadLen int) {
+	if h.Flags&tcp.FlagRST != 0 {
+		return
+	}
+	rst := tcp.Header{SrcPort: h.DstPort, DstPort: h.SrcPort}
+	if h.Flags&tcp.FlagACK != 0 {
+		rst.Flags = tcp.FlagRST
+		rst.Seq = h.Ack
+	} else {
+		rst.Flags = tcp.FlagRST | tcp.FlagACK
+		ack := h.Seq + uint32(payloadLen)
+		if h.Flags&tcp.FlagSYN != 0 {
+			ack++
+		}
+		if h.Flags&tcp.FlagFIN != 0 {
+			ack++
+		}
+		rst.Ack = ack
+	}
+	seg := rst.Marshal(s.iface.IP, src, nil)
+	_ = s.sendIPv4(src, ipv4.ProtoTCP, 0, seg)
+}
+
+// allocPort picks an ephemeral port not colliding with existing
+// connections to the same remote, listeners, or UDP sockets.
+func (s *Stack) allocPort(remote tcp.AddrPort) (uint16, error) {
+	for i := 0; i < 16384; i++ {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 49152
+		}
+		if p < 49152 {
+			continue
+		}
+		if _, used := s.listeners[p]; used {
+			continue
+		}
+		if _, used := s.udpSocks[p]; used {
+			continue
+		}
+		key := fourTuple{s.iface.IP, p, remote.Addr, remote.Port}
+		if _, used := s.conns[key]; used {
+			continue
+		}
+		return p, nil
+	}
+	return 0, fmt.Errorf("stack %s: ephemeral ports exhausted", s.cfg.Name)
+}

@@ -1,0 +1,58 @@
+package tcpcc
+
+import "time"
+
+// Reno is classic NewReno-style AIMD (RFC 5681): slow start to
+// ssthresh, additive increase of one segment per RTT afterwards,
+// multiplicative decrease of one half on loss. It is the baseline the
+// other algorithms are measured against and the loss-based component
+// C-TCP builds on.
+type Reno struct{}
+
+// Name implements Algorithm.
+func (*Reno) Name() string { return "reno" }
+
+// NeedsECN implements Algorithm.
+func (*Reno) NeedsECN() bool { return false }
+
+// Init implements Algorithm.
+func (*Reno) Init(c *Control, _ time.Duration) {
+	c.CWnd = InitialWindowSegments * c.MSS
+	c.SSThresh = 1 << 30 // effectively unbounded until the first loss
+}
+
+// OnAck implements Algorithm.
+func (*Reno) OnAck(c *Control, s *AckSample) {
+	if c.InRecovery || s.BytesAcked <= 0 || s.Underutilized {
+		return
+	}
+	if c.CWnd < c.SSThresh {
+		// Slow start: one segment per segment acked.
+		c.CWnd += s.BytesAcked
+		if c.CWnd > c.SSThresh {
+			c.CWnd = c.SSThresh
+		}
+		return
+	}
+	// Congestion avoidance: ~one segment per RTT.
+	inc := c.MSS * s.BytesAcked / c.CWnd
+	if inc < 1 {
+		inc = 1
+	}
+	c.CWnd += inc
+}
+
+// OnLoss implements Algorithm.
+func (*Reno) OnLoss(c *Control, kind LossKind, _ time.Duration) {
+	half := c.CWnd / 2
+	if half < 2*c.MSS {
+		half = 2 * c.MSS
+	}
+	c.SSThresh = half
+	if kind == LossRTO {
+		c.CWnd = c.MSS
+	} else {
+		c.CWnd = half
+	}
+	c.Clamp()
+}

@@ -1,0 +1,148 @@
+// Package vswitch implements the overlay switch of Figure 2: a
+// MAC-learning switch connecting tenant vNICs, NSM ports, and the
+// physical NIC on one host.
+//
+// Two modes mirror the paper's deployment options: a software overlay
+// switch (OVS/Hyper-V-style, with a per-frame processing delay) and an
+// embedded hardware switch (SR-IOV path, zero switching cost — traffic
+// "can bypass the host to the physical NIC", §3.1).
+package vswitch
+
+import (
+	"time"
+
+	"netkernel/internal/netsim"
+	"netkernel/internal/sim"
+)
+
+// Mode selects the switching substrate.
+type Mode int
+
+// Modes.
+const (
+	// Software is a host software switch (vSwitch) with per-frame cost.
+	Software Mode = iota
+	// Embedded is a hardware embedded switch (SR-IOV), zero per-frame
+	// cost.
+	Embedded
+)
+
+func (m Mode) String() string {
+	if m == Embedded {
+		return "embedded"
+	}
+	return "software"
+}
+
+// Config shapes a switch.
+type Config struct {
+	Mode Mode
+	// PerFrameDelay is the software-switch processing latency per
+	// frame (ignored in Embedded mode). Default 1 µs.
+	PerFrameDelay time.Duration
+	// AgingTime bounds how long a learned MAC stays valid. Default 60 s.
+	AgingTime time.Duration
+}
+
+// Stats counts switch activity.
+type Stats struct {
+	Forwarded uint64
+	Flooded   uint64
+	Learned   uint64
+}
+
+// Switch is a MAC-learning switch.
+type Switch struct {
+	clock sim.Clock
+	cfg   Config
+	ports []*Port
+	fdb   map[netsim.MAC]fdbEntry
+	stats Stats
+}
+
+type fdbEntry struct {
+	port    *Port
+	expires sim.Time
+}
+
+// New builds a switch.
+func New(clock sim.Clock, cfg Config) *Switch {
+	if cfg.PerFrameDelay <= 0 {
+		cfg.PerFrameDelay = time.Microsecond
+	}
+	if cfg.AgingTime <= 0 {
+		cfg.AgingTime = 60 * time.Second
+	}
+	return &Switch{clock: clock, cfg: cfg, fdb: make(map[netsim.MAC]fdbEntry)}
+}
+
+// Stats returns a copy of the counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Mode returns the switching mode.
+func (s *Switch) Mode() Mode { return s.cfg.Mode }
+
+// Port is one switch port. Frames arriving from the attached device
+// enter through Deliver; frames leaving toward the device go to out.
+type Port struct {
+	sw  *Switch
+	idx int
+	out netsim.Port
+}
+
+// AddPort attaches a device (NIC, VF handler, stack interface…) whose
+// inbound side is out.
+func (s *Switch) AddPort(out netsim.Port) *Port {
+	p := &Port{sw: s, idx: len(s.ports), out: out}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports returns the port count.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Deliver implements netsim.Port: a frame entering the switch from this
+// port's device.
+func (p *Port) Deliver(frame []byte) {
+	sw := p.sw
+	if len(frame) < 12 {
+		return
+	}
+	var dst, src netsim.MAC
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+
+	// Learn the source.
+	if !src.IsBroadcast() {
+		if old, ok := sw.fdb[src]; !ok || old.port != p {
+			sw.stats.Learned++
+		}
+		sw.fdb[src] = fdbEntry{port: p, expires: sw.clock.Now().Add(sw.cfg.AgingTime)}
+	}
+
+	forward := func() {
+		if e, ok := sw.fdb[dst]; ok && !dst.IsBroadcast() && sw.clock.Now() < e.expires {
+			if e.port != p {
+				sw.stats.Forwarded++
+				e.port.out.Deliver(frame)
+			}
+			return
+		}
+		// Unknown or broadcast: flood to every other port.
+		sw.stats.Flooded++
+		for _, q := range sw.ports {
+			if q == p {
+				continue
+			}
+			c := make([]byte, len(frame))
+			copy(c, frame)
+			q.out.Deliver(c)
+		}
+	}
+
+	if sw.cfg.Mode == Software {
+		sw.clock.AfterFunc(sw.cfg.PerFrameDelay, forward)
+	} else {
+		forward()
+	}
+}

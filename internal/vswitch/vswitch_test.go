@@ -1,0 +1,143 @@
+package vswitch
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/netsim"
+	"netkernel/internal/sim"
+)
+
+type sink struct{ frames [][]byte }
+
+func (s *sink) Deliver(f []byte) { s.frames = append(s.frames, f) }
+
+func frameFromTo(src, dst netsim.MAC) []byte {
+	f := make([]byte, 64)
+	copy(f[0:6], dst[:])
+	copy(f[6:12], src[:])
+	return f
+}
+
+var (
+	macA = netsim.MAC{2, 0, 0, 0, 0, 1}
+	macB = netsim.MAC{2, 0, 0, 0, 0, 2}
+	macC = netsim.MAC{2, 0, 0, 0, 0, 3}
+)
+
+func build(mode Mode) (*sim.Loop, *Switch, []*sink, []*Port) {
+	loop := sim.NewLoop()
+	sw := New(loop, Config{Mode: mode})
+	sinks := []*sink{{}, {}, {}}
+	var ports []*Port
+	for _, s := range sinks {
+		ports = append(ports, sw.AddPort(s))
+	}
+	return loop, sw, sinks, ports
+}
+
+func TestFloodThenLearn(t *testing.T) {
+	loop, sw, sinks, ports := build(Embedded)
+	// A (port 0) → B: unknown, floods to ports 1 and 2.
+	ports[0].Deliver(frameFromTo(macA, macB))
+	loop.Run()
+	if len(sinks[1].frames) != 1 || len(sinks[2].frames) != 1 || len(sinks[0].frames) != 0 {
+		t.Fatalf("flood delivery: %d/%d/%d", len(sinks[0].frames), len(sinks[1].frames), len(sinks[2].frames))
+	}
+	// B replies from port 1: A is now learned, unicast to port 0 only.
+	ports[1].Deliver(frameFromTo(macB, macA))
+	loop.Run()
+	if len(sinks[0].frames) != 1 || len(sinks[2].frames) != 1 {
+		t.Fatalf("reply delivery: %d/%d/%d", len(sinks[0].frames), len(sinks[1].frames), len(sinks[2].frames))
+	}
+	// A → B again: B learned from the reply, no flood.
+	ports[0].Deliver(frameFromTo(macA, macB))
+	loop.Run()
+	if len(sinks[1].frames) != 2 || len(sinks[2].frames) != 1 {
+		t.Fatal("switch did not learn B")
+	}
+	st := sw.Stats()
+	if st.Learned != 2 || st.Forwarded != 2 || st.Flooded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBroadcastFloodsCopies(t *testing.T) {
+	loop, _, sinks, ports := build(Embedded)
+	ports[0].Deliver(frameFromTo(macA, netsim.Broadcast))
+	loop.Run()
+	if len(sinks[1].frames) != 1 || len(sinks[2].frames) != 1 {
+		t.Fatal("broadcast not flooded")
+	}
+	sinks[1].frames[0][20] = 0xAA
+	if sinks[2].frames[0][20] == 0xAA {
+		t.Fatal("flooded frames share a buffer")
+	}
+}
+
+func TestHairpinSuppressed(t *testing.T) {
+	loop, _, sinks, ports := build(Embedded)
+	ports[0].Deliver(frameFromTo(macA, macB)) // learn A on port 0
+	loop.Run()
+	ports[0].Deliver(frameFromTo(macB, macA)) // A reachable via ingress port
+	loop.Run()
+	if len(sinks[0].frames) != 0 {
+		t.Fatal("frame hairpinned back out its ingress port")
+	}
+}
+
+func TestSoftwareModeAddsLatency(t *testing.T) {
+	loop, _, sinks, ports := build(Software)
+	ports[0].Deliver(frameFromTo(macA, macB))
+	if len(sinks[1].frames) != 0 {
+		t.Fatal("software switch forwarded synchronously")
+	}
+	loop.RunFor(2 * time.Microsecond)
+	if len(sinks[1].frames) != 1 {
+		t.Fatal("software switch never forwarded")
+	}
+}
+
+func TestEmbeddedModeIsSynchronous(t *testing.T) {
+	_, _, sinks, ports := build(Embedded)
+	ports[0].Deliver(frameFromTo(macA, macB))
+	if len(sinks[1].frames) != 1 {
+		t.Fatal("embedded switch deferred forwarding")
+	}
+}
+
+func TestFDBAging(t *testing.T) {
+	loop := sim.NewLoop()
+	sw := New(loop, Config{Mode: Embedded, AgingTime: time.Second})
+	s0, s1, s2 := &sink{}, &sink{}, &sink{}
+	p0 := sw.AddPort(s0)
+	sw.AddPort(s1)
+	sw.AddPort(s2)
+	p0.Deliver(frameFromTo(macA, macB)) // learn A
+	loop.RunFor(2 * time.Second)        // age out
+	// B → A: A's entry expired, must flood — s0 (A's port) still gets it,
+	// but so does s2, proving the unicast entry was not used.
+	sw.ports[1].Deliver(frameFromTo(macB, macA))
+	loop.Run()
+	if len(s0.frames) != 1 {
+		t.Fatal("flood skipped the original port")
+	}
+	if len(s2.frames) != 2 { // one from the initial flood, one now
+		t.Fatalf("expired entry still used (s2 got %d frames)", len(s2.frames))
+	}
+}
+
+func TestShortFrameIgnored(t *testing.T) {
+	loop, sw, _, ports := build(Embedded)
+	ports[0].Deliver(make([]byte, 5))
+	loop.Run()
+	if sw.Stats().Flooded != 0 && sw.Stats().Forwarded != 0 {
+		t.Fatal("runt frame forwarded")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Software.String() != "software" || Embedded.String() != "embedded" {
+		t.Fatal("Mode String broken")
+	}
+}

@@ -1,0 +1,63 @@
+package netkernel
+
+import (
+	"time"
+
+	"netkernel/internal/mgmt"
+	"netkernel/internal/pricing"
+)
+
+// Management-plane surface: the §5 centralized management and pricing
+// capabilities, re-exported for library users.
+
+type (
+	// PingMesh is an all-pairs ICMP prober with failure detection
+	// (Pingmesh-style, §5 "Centralized management and control").
+	PingMesh = mgmt.Mesh
+	// MeshNode is one probe endpoint.
+	MeshNode = mgmt.MeshNode
+	// MeshConfig shapes the prober.
+	MeshConfig = mgmt.MeshConfig
+	// PathReport summarizes one probed path.
+	PathReport = mgmt.PathReport
+	// ThroughputSLA tracks achieved vs promised tenant throughput.
+	ThroughputSLA = mgmt.ThroughputSLA
+
+	// Meter samples a tenant's NSM resource usage.
+	Meter = pricing.Meter
+	// Usage is a metered consumption record.
+	Usage = pricing.Usage
+	// PricingModel converts Usage into money.
+	PricingModel = pricing.Model
+	// InvoiceLine is one model's price for one usage.
+	InvoiceLine = pricing.InvoiceLine
+	// MicroUSD is integer money (millionths of a dollar).
+	MicroUSD = pricing.MicroUSD
+)
+
+// NewPingMesh builds a prober over the given nodes.
+func NewPingMesh(cfg MeshConfig, nodes []MeshNode) *PingMesh { return mgmt.NewMesh(cfg, nodes) }
+
+// NewThroughputSLA builds a throughput-SLA tracker; sample must return
+// a cumulative byte counter.
+func NewThroughputSLA(c *Cluster, name string, targetBps float64, window time.Duration, sample func() uint64) *ThroughputSLA {
+	return mgmt.NewThroughputSLA(c.Clock(), name, targetBps, window, sample)
+}
+
+// MeterNSM starts metering one VM's share of its NSM for billing.
+func MeterNSM(c *Cluster, vm *VM, slaBps float64) *Meter {
+	nsm := vm.NSM
+	svc := vm.Service
+	return pricing.NewMeter(c.Clock(), nsm.Form.String(), nsm.CPU.Cores(), nsm.Profile.MemoryMB, slaBps,
+		func() time.Duration { return nsm.CPU.TotalBusy() },
+		func() (uint64, uint64) { st := svc.Stats(); return st.DataIn, st.DataOut },
+		func() int { return nsm.Stack.ConnCount() },
+	)
+}
+
+// Invoice prices a usage under every supplied model.
+func Invoice(u Usage, models ...PricingModel) []InvoiceLine { return pricing.Invoice(u, models...) }
+
+// DefaultPricingModels returns the §5 pricing catalogue: per-instance,
+// per-core, utilization-based, and SLA-based.
+func DefaultPricingModels() []PricingModel { return pricing.DefaultModels() }

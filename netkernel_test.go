@@ -1,0 +1,149 @@
+package netkernel
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end
+// to end: cluster, hosts, a BBR NSM serving a Windows-profile guest,
+// and an echo exchange.
+func TestPublicAPIQuickstart(t *testing.T) {
+	c := NewCluster(ClusterConfig{})
+	h1 := c.AddHost("host1")
+	h2 := c.AddHost("host2")
+	c.ConnectHosts(h1, h2, Testbed40G())
+
+	server, err := h2.CreateVM(VMConfig{
+		Name: "server", IP: IP("10.0.2.1"), Mode: ModeNetKernel,
+		NSM: NSMSpec{Form: FormModule, CC: "cubic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := h1.CreateVM(VMConfig{
+		Name: "client", IP: IP("10.0.1.1"), Mode: ModeNetKernel,
+		Profile: ProfileWindows,
+		NSM:     NSMSpec{Form: FormModule, CC: "bbr"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond) // module boot
+
+	// Echo server.
+	srv := server.Guest
+	lfd := srv.Socket(Callbacks{})
+	srv.SetCallbacks(lfd, Callbacks{OnAcceptable: func() {
+		fd, ok := srv.Accept(lfd)
+		if !ok {
+			return
+		}
+		buf := make([]byte, 4096)
+		srv.SetCallbacks(fd, Callbacks{OnReadable: func() {
+			n, _ := srv.Recv(fd, buf)
+			if n > 0 {
+				srv.Send(fd, buf[:n])
+			}
+		}})
+	}})
+	if err := srv.Listen(lfd, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client.
+	cli := client.Guest
+	var got bytes.Buffer
+	fd := cli.Socket(Callbacks{})
+	cli.SetCallbacks(fd, Callbacks{
+		OnEstablished: func(err error) {
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			cli.Send(fd, []byte("ping over NSaaS"))
+		},
+		OnReadable: func() {
+			buf := make([]byte, 4096)
+			n, _ := cli.Recv(fd, buf)
+			got.Write(buf[:n])
+		},
+	})
+	if err := cli.Connect(fd, server.IP, 7); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(500 * time.Millisecond)
+
+	if got.String() != "ping over NSaaS" {
+		t.Fatalf("echo returned %q", got.String())
+	}
+	// The Windows guest's traffic ran BBR (the §4.3 flexibility claim).
+	found := ""
+	client.NSM.Stack.Conns(func(conn *Conn) { found = conn.CongestionControl().Name() })
+	if found != "bbr" {
+		t.Fatalf("client NSM ran %q", found)
+	}
+}
+
+func TestClusterClockAndHosts(t *testing.T) {
+	c := NewCluster(ClusterConfig{Seed: 7})
+	if c.Now() != 0 {
+		t.Fatal("fresh cluster not at time zero")
+	}
+	c.AddHost("a")
+	c.AddHost("b")
+	if len(c.Hosts()) != 2 {
+		t.Fatalf("Hosts = %d", len(c.Hosts()))
+	}
+	c.Run(time.Second)
+	if c.Now() != time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	fired := false
+	c.Clock().AfterFunc(time.Millisecond, func() { fired = true })
+	c.RunUntilIdle()
+	if !fired {
+		t.Fatal("clock callback never ran")
+	}
+}
+
+func TestCongestionControlCatalogue(t *testing.T) {
+	ccs := CongestionControls()
+	want := map[string]bool{"reno": true, "cubic": true, "bbr": true, "ctcp": true, "dctcp": true}
+	for _, n := range ccs {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing congestion controls: %v", want)
+	}
+}
+
+func TestIPHelper(t *testing.T) {
+	if IP("10.1.2.3") != (Addr{10, 1, 2, 3}) {
+		t.Fatal("IP parse broken")
+	}
+}
+
+func TestLinkPresets(t *testing.T) {
+	if Testbed40G().Rate != 40*Gbps {
+		t.Fatal("testbed preset broken")
+	}
+	if WANPath(0.003).LossProb != 0.003 {
+		t.Fatal("WAN preset broken")
+	}
+}
+
+func TestLegacyModeThroughPublicAPI(t *testing.T) {
+	c := NewCluster(ClusterConfig{})
+	h1 := c.AddHost("h1")
+	h2 := c.AddHost("h2")
+	c.ConnectHosts(h1, h2, Testbed40G())
+	vm1, err := h1.CreateVM(VMConfig{Name: "l1", IP: IP("10.0.1.1"), Mode: ModeLegacy, Profile: ProfileFreeBSD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Legacy == nil || vm1.Legacy.DefaultCC() != "reno" {
+		t.Fatal("FreeBSD legacy stack should default to reno")
+	}
+}
