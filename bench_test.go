@@ -9,13 +9,17 @@ package netkernel
 // EXPERIMENTS.md.
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
 	"netkernel/internal/experiments"
+	"netkernel/internal/hypervisor"
+	"netkernel/internal/nkchan"
 	"netkernel/internal/nkqueue"
 	"netkernel/internal/nqe"
 	"netkernel/internal/shm"
+	"netkernel/internal/sim"
 )
 
 // --- Table 1: memory-copy latency (wall clock) ---
@@ -68,6 +72,30 @@ func BenchmarkNqeCopy(b *testing.B) {
 	}
 }
 
+// BenchmarkMoveBatch is the batched counterpart of BenchmarkNqeCopy:
+// one op moves a 64-element batch end to end (PushBatch → MoveBatch →
+// PopBatch), so ns/elem = ns/op ÷ 64. The batch path amortizes the
+// atomic head/tail traffic and the doorbell over the whole span (§3.2
+// batched interrupts) and must beat the per-element path by ≥2×.
+func BenchmarkMoveBatch(b *testing.B) {
+	const batch = 64
+	src, _ := nkqueue.NewQueue(nkqueue.Config{Slots: 2 * batch})
+	dst, _ := nkqueue.NewQueue(nkqueue.Config{Slots: 2 * batch})
+	es := make([]nqe.Element, batch)
+	for i := range es {
+		es[i] = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: 1, FD: 3, DataLen: 1448}
+	}
+	out := make([]nqe.Element, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.PushBatch(es)
+		nkqueue.MoveBatch(dst, src, batch) // the measured CoreEngine copy
+		dst.PopBatch(out)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/elem")
+}
+
 // --- §4.2: GuestLib↔ServiceLib channel throughput per core ---
 
 func benchShmChannel(b *testing.B, size int) {
@@ -98,6 +126,74 @@ func benchShmChannel(b *testing.B, size int) {
 
 func BenchmarkShmChannel64B(b *testing.B) { benchShmChannel(b, 64) }
 func BenchmarkShmChannel8KB(b *testing.B) { benchShmChannel(b, 8<<10) }
+
+// benchEnginePump drives 64-element bursts of OpSend jobs through a
+// CoreEngine (validate + fd→cID translate + copy to the NSM ring) at
+// the given pump batch size. batch=1 approximates the old per-element
+// pump; batch=64 is the span fast path.
+func benchEnginePump(b *testing.B, batch int) {
+	const burst = 64
+	loop := sim.NewLoop()
+	mk := func() nkqueue.Q {
+		q, err := nkqueue.NewQueue(nkqueue.Config{Slots: 4 * burst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return q
+	}
+	ch := &nkchan.Pair{
+		VMJob: mk(), VMCompletion: mk(), VMReceive: mk(),
+		NSMJob: mk(), NSMCompletion: mk(), NSMReceive: mk(),
+	}
+	ce := hypervisor.NewCoreEngine(loop, hypervisor.EngineConfig{Batch: batch})
+	ce.Attach(ch, 1, 2, 0, 0, 0)
+
+	// Install the fd 5 ↔ cID 77 mapping with an OpSocket round trip.
+	sock := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromVM, VMID: 1, FD: 5, Seq: 1}
+	ch.VMJob.Push(&sock)
+	ch.KickEngineVM()
+	loop.RunFor(10 * time.Millisecond)
+	var got nqe.Element
+	if !ch.NSMJob.Pop(&got) {
+		b.Fatal("socket job did not cross the engine")
+	}
+	comp := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromNSM, CID: 77, Seq: got.Seq}
+	ch.NSMCompletion.Push(&comp)
+	ch.KickEngineNSM()
+	loop.RunFor(10 * time.Millisecond)
+	if !ch.VMCompletion.Pop(&got) || got.FD != 5 {
+		b.Fatal("socket completion did not come back")
+	}
+
+	es := make([]nqe.Element, burst)
+	for i := range es {
+		es[i] = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: 1, FD: 5, DataLen: 1448}
+	}
+	out := make([]nqe.Element, burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ch.VMJob.PushBatch(es) != burst {
+			b.Fatal("job ring full")
+		}
+		ch.KickEngineVM()
+		loop.RunFor(10 * time.Millisecond)
+		drained := 0
+		for drained < burst {
+			n := ch.NSMJob.PopBatch(out)
+			if n == 0 {
+				b.Fatal("engine did not move the burst")
+			}
+			drained += n
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*burst), "ns/elem")
+}
+
+func BenchmarkEnginePump(b *testing.B) {
+	b.Run("batch=1", func(b *testing.B) { benchEnginePump(b, 1) })
+	b.Run("batch=64", func(b *testing.B) { benchEnginePump(b, 64) })
+}
 
 // --- Figure 4: CUBIC native vs CUBIC NSM on 40 GbE (virtual time) ---
 
@@ -192,7 +288,7 @@ func BenchmarkSyncVsAsync(b *testing.B) {
 
 // --- helpers ---
 
-func itoa(n int) string { return string(rune('0' + n)) }
+func itoa(n int) string { return strconv.Itoa(n) }
 
 func metricName(s string) string {
 	out := make([]rune, 0, len(s))

@@ -55,7 +55,11 @@ type Pair struct {
 	Pages *shm.HugePages
 
 	// Kicks are notification hooks wired by the owners. Each models a
-	// doorbell/batched interrupt in the paper's design.
+	// doorbell/batched interrupt in the paper's design (§3.2): a
+	// producer pushes a whole batch, then kicks once, and the consumer
+	// drains the ring in spans rather than taking one interrupt per
+	// nqe. The per-queue shm.Doorbell coalescing (RingN/Flush) tracks
+	// the same batches at the ring level for the notification ablation.
 	KickEngineVM  func() // GuestLib → CoreEngine: VM job queue has work
 	KickEngineNSM func() // ServiceLib → CoreEngine: NSM completion/receive queues have work
 	KickNSM       func() // CoreEngine → ServiceLib: NSM job queue has work
@@ -86,3 +90,16 @@ func NewPair(cfg Config) (*Pair, error) {
 
 // ChunkSize returns the data-chunk granularity.
 func (p *Pair) ChunkSize() int { return p.Pages.ChunkSize() }
+
+// FlushDoorbells delivers any coalesced doorbell wakeups still pending
+// on all six rings. Producers call it when a burst ends with a partial
+// batch, so BatchedInterrupt mode never strands the tail of a transfer
+// waiting for a batch that will not fill.
+func (p *Pair) FlushDoorbells() {
+	for _, q := range []nkqueue.Q{
+		p.VMJob, p.VMCompletion, p.VMReceive,
+		p.NSMJob, p.NSMCompletion, p.NSMReceive,
+	} {
+		q.Flush()
+	}
+}

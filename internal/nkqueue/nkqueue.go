@@ -25,8 +25,28 @@ const DefaultSlots = 1024
 type Q interface {
 	// Push enqueues an element, reporting false when the queue is full.
 	Push(e *nqe.Element) bool
+	// PushBatch enqueues a prefix of es, stopping at the first element
+	// that does not fit, and returns how many were enqueued. The
+	// doorbell rings at most once for the whole batch.
+	PushBatch(es []nqe.Element) int
 	// Pop dequeues into e, reporting false when the queue is empty.
 	Pop(e *nqe.Element) bool
+	// PopBatch drains up to len(dst) elements, returning the count.
+	PopBatch(dst []nqe.Element) int
+	// FrontSpan returns up to max oldest queued elements as one raw
+	// contiguous byte span (n encoded slots of nqe.Size bytes each) for
+	// in-place reading or field patching; the slots stay queued until
+	// ReleaseSpan. n is 0 when empty. Only the consumer may call it,
+	// and each FrontSpan must be resolved by ReleaseSpan before the
+	// next (a priority queue remembers which internal ring the span
+	// came from).
+	FrontSpan(max int) (span []byte, n int)
+	// ReleaseSpan frees the first n slots of the last FrontSpan.
+	ReleaseSpan(n int)
+	// PushSpan enqueues raw already-encoded slots (len(span) must be a
+	// multiple of nqe.Size), stopping when full, and returns how many
+	// slots were enqueued. The doorbell rings at most once.
+	PushSpan(span []byte) int
 	// Len returns the number of queued elements.
 	Len() int
 	// Flush delivers any coalesced doorbell wakeups.
@@ -95,18 +115,72 @@ func (q *Queue) Pop(e *nqe.Element) bool {
 	return true
 }
 
+// PushBatch implements Q: each span of contiguous free slots is
+// reserved once, filled by direct encoding, and published with one
+// atomic add; the doorbell rings once for the whole batch.
+func (q *Queue) PushBatch(es []nqe.Element) int {
+	pushed := 0
+	for pushed < len(es) {
+		span, n := q.ring.ReserveN(len(es) - pushed)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			es[pushed+i].Encode(span[i*nqe.Size:])
+		}
+		q.ring.CommitN(n)
+		pushed += n
+	}
+	if pushed > 0 {
+		q.db.RingN(pushed)
+	}
+	return pushed
+}
+
 // PopBatch drains up to len(dst) elements, returning the count. Batched
-// draining is how ServiceLib and CoreEngine amortize wakeups (§3.2
-// "batched interrupts").
+// draining is how GuestLib, ServiceLib, and CoreEngine amortize wakeups
+// (§3.2 "batched interrupts"): each contiguous span is decoded in place
+// and released with one atomic add.
 func (q *Queue) PopBatch(dst []nqe.Element) int {
 	n := 0
 	for n < len(dst) {
-		if !q.Pop(&dst[n]) {
+		span, got := q.ring.FrontN(len(dst) - n)
+		if got == 0 {
 			break
 		}
-		n++
+		for i := 0; i < got; i++ {
+			dst[n+i].Decode(span[i*nqe.Size:])
+		}
+		q.ring.ReleaseN(got)
+		n += got
 	}
 	return n
+}
+
+// FrontSpan implements Q.
+func (q *Queue) FrontSpan(max int) ([]byte, int) { return q.ring.FrontN(max) }
+
+// ReleaseSpan implements Q.
+func (q *Queue) ReleaseSpan(n int) { q.ring.ReleaseN(n) }
+
+// PushSpan implements Q: whole spans of raw slots transfer with a
+// single copy per contiguous run and one doorbell ring.
+func (q *Queue) PushSpan(span []byte) int {
+	total := len(span) / nqe.Size
+	pushed := 0
+	for pushed < total {
+		d, n := q.ring.ReserveN(total - pushed)
+		if n == 0 {
+			break
+		}
+		copy(d, span[pushed*nqe.Size:(pushed+n)*nqe.Size])
+		q.ring.CommitN(n)
+		pushed += n
+	}
+	if pushed > 0 {
+		q.db.RingN(pushed)
+	}
+	return pushed
 }
 
 // Len implements Q.
@@ -121,20 +195,35 @@ func (q *Queue) Doorbell() *shm.Doorbell { return q.db }
 // Move transfers one raw element from src to dst without decoding: the
 // CoreEngine's 64-byte slot-to-slot copy (§4.2 measures it at ~12 ns per
 // event). It reports false when src is empty or dst is full.
-func Move(dst, src *Queue) bool {
-	s, ok := src.ring.Front()
-	if !ok {
-		return false
+func Move(dst, src *Queue) bool { return MoveBatch(dst, src, 1) == 1 }
+
+// MoveBatch transfers up to max raw elements from src to dst without
+// decoding: the batched CoreEngine fast path. Each contiguous span
+// (split only at ring wraparound) moves with a single copy, one
+// publishing atomic add, and one releasing atomic add, and the
+// destination doorbell rings at most once for the whole batch — per-
+// batch rather than per-event operation, which is what lets a shared
+// stack serve many tenants at line rate. Returns the number moved.
+func MoveBatch(dst, src *Queue, max int) int {
+	moved := 0
+	for moved < max {
+		s, ns := src.ring.FrontN(max - moved)
+		if ns == 0 {
+			break
+		}
+		d, nd := dst.ring.ReserveN(ns)
+		if nd == 0 {
+			break
+		}
+		copy(d, s[:nd*nqe.Size])
+		dst.ring.CommitN(nd)
+		src.ring.ReleaseN(nd)
+		moved += nd
 	}
-	d, ok := dst.ring.Reserve()
-	if !ok {
-		return false
+	if moved > 0 {
+		dst.db.RingN(moved)
 	}
-	copy(d, s)
-	dst.ring.Commit()
-	src.ring.Release()
-	dst.db.Ring()
-	return true
+	return moved
 }
 
 // PriorityQueue pairs a high-priority ring (connection events: socket,
@@ -144,6 +233,9 @@ func Move(dst, src *Queue) bool {
 type PriorityQueue struct {
 	hi, lo *Queue
 	db     *shm.Doorbell
+	// spanFrom remembers which ring the last FrontSpan came from, so
+	// ReleaseSpan frees the right slots. Consumer-side state only.
+	spanFrom *Queue
 }
 
 // NewPriorityQueue builds the pair; each ring gets cfg.Slots slots.
@@ -175,12 +267,86 @@ func (p *PriorityQueue) Push(e *nqe.Element) bool {
 	return p.lo.Push(e)
 }
 
+// PushBatch implements Q, routing each element by event class. It stops
+// at the first element that does not fit so arrival order within a ring
+// is never reordered; the shared doorbell rings once for the batch.
+func (p *PriorityQueue) PushBatch(es []nqe.Element) int {
+	pushed := 0
+	for ; pushed < len(es); pushed++ {
+		e := &es[pushed]
+		target := p.lo
+		if e.Op.IsConnEvent() {
+			target = p.hi
+		}
+		slot, ok := target.ring.Reserve()
+		if !ok {
+			break
+		}
+		e.Encode(slot)
+		target.ring.Commit()
+	}
+	if pushed > 0 {
+		p.db.RingN(pushed)
+	}
+	return pushed
+}
+
 // Pop drains connection events before data events.
 func (p *PriorityQueue) Pop(e *nqe.Element) bool {
 	if p.hi.Pop(e) {
 		return true
 	}
 	return p.lo.Pop(e)
+}
+
+// PopBatch implements Q, draining connection events before data events.
+func (p *PriorityQueue) PopBatch(dst []nqe.Element) int {
+	n := p.hi.PopBatch(dst)
+	n += p.lo.PopBatch(dst[n:])
+	return n
+}
+
+// FrontSpan implements Q: the span comes from the high-priority ring
+// while it has work, then from the low-priority ring.
+func (p *PriorityQueue) FrontSpan(max int) ([]byte, int) {
+	if span, n := p.hi.ring.FrontN(max); n > 0 {
+		p.spanFrom = p.hi
+		return span, n
+	}
+	p.spanFrom = p.lo
+	return p.lo.ring.FrontN(max)
+}
+
+// ReleaseSpan implements Q.
+func (p *PriorityQueue) ReleaseSpan(n int) {
+	if p.spanFrom != nil {
+		p.spanFrom.ring.ReleaseN(n)
+	}
+}
+
+// PushSpan implements Q. Raw slots still route per element (the class
+// lives in the op byte), but without any decode/encode: each 64-byte
+// record copies straight into its ring, and the doorbell rings once.
+func (p *PriorityQueue) PushSpan(span []byte) int {
+	total := len(span) / nqe.Size
+	pushed := 0
+	for ; pushed < total; pushed++ {
+		rec := span[pushed*nqe.Size : (pushed+1)*nqe.Size]
+		target := p.lo
+		if nqe.Slot(rec).Op().IsConnEvent() {
+			target = p.hi
+		}
+		slot, ok := target.ring.Reserve()
+		if !ok {
+			break
+		}
+		copy(slot, rec)
+		target.ring.Commit()
+	}
+	if pushed > 0 {
+		p.db.RingN(pushed)
+	}
+	return pushed
 }
 
 // Len implements Q.

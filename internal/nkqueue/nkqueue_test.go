@@ -1,6 +1,7 @@
 package nkqueue
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -188,3 +189,243 @@ func TestQueueDoorbellIntegration(t *testing.T) {
 		t.Fatal("Flush did not fire the doorbell")
 	}
 }
+
+func TestMoveBatchVerbatimAndOrdered(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 16})
+	dst, _ := NewQueue(Config{Slots: 16})
+	for i := 0; i < 10; i++ {
+		e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: uint64(i), DataLen: 1448}
+		src.Push(&e)
+	}
+	if n := MoveBatch(dst, src, 64); n != 10 {
+		t.Fatalf("MoveBatch moved %d, want 10", n)
+	}
+	if src.Len() != 0 || dst.Len() != 10 {
+		t.Fatalf("lens after batch move: src=%d dst=%d", src.Len(), dst.Len())
+	}
+	var out nqe.Element
+	for i := 0; i < 10; i++ {
+		if !dst.Pop(&out) || out.Seq != uint64(i) {
+			t.Fatalf("element %d arrived as Seq=%d", i, out.Seq)
+		}
+	}
+}
+
+// A batch that straddles the source ring's wraparound boundary must
+// still arrive complete and in order.
+func TestMoveBatchAcrossWraparound(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 8})
+	dst, _ := NewQueue(Config{Slots: 8})
+	var e, out nqe.Element
+	// Rotate the ring so head sits at slot 6.
+	for i := 0; i < 6; i++ {
+		e = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+		src.Push(&e)
+		src.Pop(&out)
+	}
+	for i := 0; i < 5; i++ { // occupies slots 6,7,0,1,2
+		e = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: uint64(100 + i)}
+		src.Push(&e)
+	}
+	if n := MoveBatch(dst, src, 5); n != 5 {
+		t.Fatalf("wrapped MoveBatch moved %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if !dst.Pop(&out) || out.Seq != uint64(100+i) {
+			t.Fatalf("wrapped element %d arrived as Seq=%d", i, out.Seq)
+		}
+	}
+}
+
+func TestMoveBatchStopsAtFullDst(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 16})
+	dst, _ := NewQueue(Config{Slots: 4})
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	for i := 0; i < 10; i++ {
+		src.Push(&e)
+	}
+	if n := MoveBatch(dst, src, 64); n != 4 {
+		t.Fatalf("MoveBatch into 4-slot dst moved %d, want 4", n)
+	}
+	if src.Len() != 6 {
+		t.Fatalf("src kept %d, want 6 (no elements lost)", src.Len())
+	}
+}
+
+func TestMoveBatchRingsDoorbellOnce(t *testing.T) {
+	src, _ := NewQueue(Config{Slots: 64})
+	dst, _ := NewQueue(Config{Slots: 64, Mode: shm.BatchedInterrupt, Batch: 4})
+	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}
+	for i := 0; i < 32; i++ {
+		src.Push(&e)
+	}
+	if n := MoveBatch(dst, src, 32); n != 32 {
+		t.Fatalf("moved %d, want 32", n)
+	}
+	if !dst.Doorbell().Wait(time.Second) {
+		t.Fatal("no wakeup for a full batch")
+	}
+	if dst.Doorbell().Wait(5 * time.Millisecond) {
+		t.Fatal("batch of 32 delivered more than one wakeup")
+	}
+}
+
+func TestPushBatchAndSpanRoundTrip(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 16})
+	es := make([]nqe.Element, 10)
+	for i := range es {
+		es[i] = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: uint64(i)}
+	}
+	if n := q.PushBatch(es); n != 10 {
+		t.Fatalf("PushBatch = %d, want 10", n)
+	}
+	span, n := q.FrontSpan(100)
+	if n == 0 {
+		t.Fatal("FrontSpan empty after PushBatch")
+	}
+	if got := nqe.Slot(span).Seq(); got != 0 {
+		t.Fatalf("first slot Seq = %d, want 0", got)
+	}
+	q.ReleaseSpan(n)
+	dst, _ := NewQueue(Config{Slots: 16})
+	if pushed := dst.PushSpan(span[:n*nqe.Size]); pushed != n {
+		t.Fatalf("PushSpan = %d, want %d", pushed, n)
+	}
+	var out nqe.Element
+	for i := 0; i < n; i++ {
+		if !dst.Pop(&out) || out.Seq != uint64(i) {
+			t.Fatalf("PushSpan element %d arrived as Seq=%d", i, out.Seq)
+		}
+	}
+}
+
+func TestPushBatchStopsWhenFull(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 4})
+	es := make([]nqe.Element, 10)
+	for i := range es {
+		es[i] = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: uint64(i)}
+	}
+	if n := q.PushBatch(es); n != 4 {
+		t.Fatalf("PushBatch into 4-slot queue = %d, want 4", n)
+	}
+	var out nqe.Element
+	for i := 0; i < 4; i++ {
+		if !q.Pop(&out) || out.Seq != uint64(i) {
+			t.Fatalf("kept prefix broken at %d (Seq=%d)", i, out.Seq)
+		}
+	}
+}
+
+func TestPriorityQueueBatchOps(t *testing.T) {
+	p, _ := NewPriorityQueue(Config{Slots: 8})
+	es := []nqe.Element{
+		{Op: nqe.OpNewData, Source: nqe.FromNSM, Seq: 1},
+		{Op: nqe.OpNewConn, Source: nqe.FromNSM, Seq: 2},
+		{Op: nqe.OpNewData, Source: nqe.FromNSM, Seq: 3},
+		{Op: nqe.OpConnClosed, Source: nqe.FromNSM, Seq: 4},
+	}
+	if n := p.PushBatch(es); n != 4 {
+		t.Fatalf("PushBatch = %d, want 4", n)
+	}
+	// PopBatch drains the high-priority ring (conn events) first.
+	out := make([]nqe.Element, 8)
+	if n := p.PopBatch(out); n != 4 {
+		t.Fatalf("PopBatch = %d, want 4", n)
+	}
+	wantSeq := []uint64{2, 4, 1, 3}
+	for i, w := range wantSeq {
+		if out[i].Seq != w {
+			t.Fatalf("PopBatch[%d].Seq = %d, want %d", i, out[i].Seq, w)
+		}
+	}
+}
+
+func TestPriorityQueueSpanOps(t *testing.T) {
+	p, _ := NewPriorityQueue(Config{Slots: 8})
+	es := []nqe.Element{
+		{Op: nqe.OpNewData, Source: nqe.FromNSM, Seq: 1},
+		{Op: nqe.OpNewConn, Source: nqe.FromNSM, Seq: 2},
+	}
+	p.PushBatch(es)
+	// First span must come from the high-priority ring.
+	span, n := p.FrontSpan(8)
+	if n != 1 || nqe.Slot(span).Op() != nqe.OpNewConn {
+		t.Fatalf("first span = %d slots op %v, want the conn event", n, nqe.Slot(span).Op())
+	}
+	p.ReleaseSpan(1)
+	span, n = p.FrontSpan(8)
+	if n != 1 || nqe.Slot(span).Op() != nqe.OpNewData {
+		t.Fatalf("second span = %d slots, want the data event", n)
+	}
+	p.ReleaseSpan(1)
+
+	// PushSpan routes raw records by op class.
+	raw := make([]byte, 2*nqe.Size)
+	(&nqe.Element{Op: nqe.OpNewData, Source: nqe.FromNSM, Seq: 10}).Encode(raw)
+	(&nqe.Element{Op: nqe.OpEstablished, Source: nqe.FromNSM, Seq: 11}).Encode(raw[nqe.Size:])
+	if n := p.PushSpan(raw); n != 2 {
+		t.Fatalf("PushSpan = %d, want 2", n)
+	}
+	var out nqe.Element
+	if !p.Pop(&out) || out.Seq != 11 {
+		t.Fatalf("conn event not prioritized after PushSpan (Seq=%d)", out.Seq)
+	}
+}
+
+// Concurrent producer/consumer exercising the batched paths end to end
+// under -race: PushBatch on one goroutine, PopBatch on another.
+func TestQueueBatchConcurrent(t *testing.T) {
+	q, _ := NewQueue(Config{Slots: 64})
+	const total = 30000
+	errc := make(chan error, 1)
+	go func() {
+		seq := uint64(0)
+		buf := make([]nqe.Element, 13)
+		for seq < total {
+			n := 0
+			for n < len(buf) && seq < total {
+				buf[n] = nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, Seq: seq}
+				seq++
+				n++
+			}
+			off := 0
+			for off < n {
+				m := q.PushBatch(buf[off:n])
+				if m == 0 {
+					runtime.Gosched()
+				}
+				off += m
+			}
+		}
+	}()
+	go func() {
+		buf := make([]nqe.Element, 19)
+		next := uint64(0)
+		for next < total {
+			n := q.PopBatch(buf)
+			if n == 0 {
+				runtime.Gosched()
+			}
+			for i := 0; i < n; i++ {
+				if buf[i].Seq != next {
+					errc <- errBatchOrder{next, buf[i].Seq}
+					return
+				}
+				next++
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent batch exchange timed out")
+	}
+}
+
+type errBatchOrder struct{ want, got uint64 }
+
+func (e errBatchOrder) Error() string { return "batched elements out of order" }

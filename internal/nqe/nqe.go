@@ -263,6 +263,65 @@ func (e *Element) String() string {
 		e.Op, e.VMID, e.NSMID, e.FD, e.CID, e.Seq, e.DataLen, e.Status)
 }
 
+// Slot is a view over one encoded element sitting in place in a ring
+// slot. The CoreEngine's translation step must consult the fd↔cID table
+// per element, but it only ever touches a handful of header fields; Slot
+// lets it read and patch exactly those fields without the full
+// decode/encode round trip of Element, which is what keeps the batched
+// queue-to-queue path at a single 64-byte copy per element (§4.2).
+type Slot []byte
+
+// Op returns the element's operation.
+func (s Slot) Op() Op { return Op(s[offOp]) }
+
+// Flags returns the element's flags.
+func (s Slot) Flags() Flags { return Flags(s[offFlags]) }
+
+// Source returns the producing component.
+func (s Slot) Source() Source { return Source(s[offSource]) }
+
+// VMID returns the tenant VM identity.
+func (s Slot) VMID() uint32 { return binary.LittleEndian.Uint32(s[offVMID:]) }
+
+// SetVMID patches the tenant VM identity in place.
+func (s Slot) SetVMID(v uint32) { binary.LittleEndian.PutUint32(s[offVMID:], v) }
+
+// SetNSMID patches the stack-module identity in place.
+func (s Slot) SetNSMID(v uint32) { binary.LittleEndian.PutUint32(s[offNSMID:], v) }
+
+// FD returns the guest-visible descriptor.
+func (s Slot) FD() int32 { return int32(binary.LittleEndian.Uint32(s[offFD:])) }
+
+// SetFD patches the guest-visible descriptor in place.
+func (s Slot) SetFD(v int32) { binary.LittleEndian.PutUint32(s[offFD:], uint32(v)) }
+
+// CID returns the NSM-side connection id.
+func (s Slot) CID() uint32 { return binary.LittleEndian.Uint32(s[offCID:]) }
+
+// SetCID patches the NSM-side connection id in place.
+func (s Slot) SetCID(v uint32) { binary.LittleEndian.PutUint32(s[offCID:], v) }
+
+// Seq returns the request/response correlation id.
+func (s Slot) Seq() uint64 { return binary.LittleEndian.Uint64(s[offSeq:]) }
+
+// Arg1 returns the second operation argument.
+func (s Slot) Arg1() uint64 { return binary.LittleEndian.Uint64(s[offArg1:]) }
+
+// SetArg1 patches the second operation argument in place.
+func (s Slot) SetArg1(v uint64) { binary.LittleEndian.PutUint64(s[offArg1:], v) }
+
+// Validate performs the same structural checks as Element.Validate
+// without decoding the rest of the record.
+func (s Slot) Validate() error {
+	if op := s.Op(); !op.Valid() {
+		return fmt.Errorf("nqe: invalid op %d", uint8(op))
+	}
+	if src := s.Source(); src != FromVM && src != FromNSM && src != FromCore {
+		return fmt.Errorf("nqe: invalid source %d", uint8(src))
+	}
+	return nil
+}
+
 // Socket options carried in OpSetSockOpt's Arg0 (value in Arg1).
 const (
 	// SockOptNagle toggles RFC 896 small-segment coalescing.

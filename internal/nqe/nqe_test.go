@@ -148,3 +148,50 @@ func TestSizeIsCacheLine(t *testing.T) {
 		t.Fatalf("nqe size = %d, want one cache line (64)", Size)
 	}
 }
+
+// Slot accessors must agree exactly with the Encode/Decode wire format,
+// both reading and patching in place.
+func TestSlotAccessorsMatchCodec(t *testing.T) {
+	e := Element{
+		Op: OpNewConn, Flags: FlagCompletion | FlagSync, Source: FromNSM,
+		VMID: 7, NSMID: 9, FD: -3, CID: 0xdeadbeef, Status: StatusAgain,
+		Seq: 1 << 40, DataOff: 4096, DataLen: 1448, Arg0: 42, Arg1: 99,
+	}
+	buf := make([]byte, Size)
+	e.Encode(buf)
+	s := Slot(buf)
+	if s.Op() != e.Op || s.Flags() != e.Flags || s.Source() != e.Source ||
+		s.VMID() != e.VMID || s.FD() != e.FD || s.CID() != e.CID ||
+		s.Seq() != e.Seq || s.Arg1() != e.Arg1 {
+		t.Fatalf("Slot read mismatch: %v vs %+v", buf, e)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Slot.Validate: %v", err)
+	}
+
+	s.SetVMID(100)
+	s.SetNSMID(200)
+	s.SetFD(-300)
+	s.SetCID(400)
+	s.SetArg1(500)
+	var got Element
+	got.Decode(buf)
+	want := e
+	want.VMID, want.NSMID, want.FD, want.CID, want.Arg1 = 100, 200, -300, 400, 500
+	if got != want {
+		t.Fatalf("patched decode = %+v, want %+v", got, want)
+	}
+}
+
+func TestSlotValidateRejects(t *testing.T) {
+	buf := make([]byte, Size)
+	if Slot(buf).Validate() == nil {
+		t.Fatal("zero slot (invalid op) passed validation")
+	}
+	e := Element{Op: OpSend, Source: FromVM}
+	e.Encode(buf)
+	buf[2] = 99 // corrupt Source
+	if Slot(buf).Validate() == nil {
+		t.Fatal("bad source passed validation")
+	}
+}

@@ -643,3 +643,77 @@ func TestByteRing(t *testing.T) {
 		t.Fatal("ring not empty after drain")
 	}
 }
+
+// A SACK block that ends exactly at the FIN's sequence number must not
+// mark the (zero-length) FIN segment as selectively acked. Regression:
+// the degenerate interval [finSeq, finSeq) fits inside any block that
+// SACKs the final data segment, and a "sacked" FIN is skipped by every
+// retransmission path while trySend refuses to run post-FIN — the close
+// wedges into a no-op RTO loop until the backoff limit tears the
+// connection down. Reordered or lost closing segments (routine in the
+// wall-clock domain) trigger exactly that shape.
+func TestLostFINRetransmitsDespiteSACK(t *testing.T) {
+	n := newTestNet(t)
+	var droppedData, droppedFIN bool
+	var firstDataSeq uint32
+	n.drop = func(dir string, h *Header, payload []byte) bool {
+		if dir != "a→b" {
+			return false
+		}
+		// Drop the first copy of the first data segment so the second
+		// segment arrives out of order and gets SACKed...
+		if len(payload) > 0 && !droppedData {
+			droppedData = true
+			firstDataSeq = h.Seq
+			return true
+		}
+		// ...and the first copy of the FIN, so closing depends on the
+		// RTO resending it.
+		if h.Flags&FlagFIN != 0 && !droppedFIN {
+			droppedFIN = true
+			return true
+		}
+		return false
+	}
+	n.dialPair("reno", "reno", func(cfg *Config, side string) {
+		cfg.MinRTO = 50 * time.Millisecond
+	})
+	n.establish()
+
+	msg := make([]byte, 2*n.a.cfg.MSS) // exactly two segments, then FIN
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	if w := n.a.Write(msg); w != len(msg) {
+		t.Fatalf("short write: %d", w)
+	}
+	n.a.Close()
+	// The first RTO (initial 1s, no RTT sample yet) resends the data
+	// hole; the FIN needs the next, backed-off RTO (~2s later).
+	n.loop.RunFor(6 * time.Second)
+
+	if !droppedData || !droppedFIN {
+		t.Fatalf("scenario not staged: droppedData=%v droppedFIN=%v (firstDataSeq=%d)",
+			droppedData, droppedFIN, firstDataSeq)
+	}
+	buf := make([]byte, 64<<10)
+	var got bytes.Buffer
+	for {
+		m, eof := n.b.Read(buf)
+		got.Write(buf[:m])
+		if eof || m == 0 {
+			break
+		}
+	}
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("b received %d of %d bytes", got.Len(), len(msg))
+	}
+	// b must have seen the retransmitted FIN (CloseWait), and a must
+	// still be alive in FinWait2 — not torn down by a futile RTO loop.
+	if n.b.State() != StateCloseWait {
+		t.Fatalf("b state = %v, want close-wait (FIN never arrived)", n.b.State())
+	}
+	if n.a.State() != StateFinWait2 {
+		t.Fatalf("a state = %v, want fin-wait-2", n.a.State())
+	}
+}

@@ -281,6 +281,15 @@ func (c *Conn) applySACK(blocks []SACKBlock) {
 			continue
 		}
 		for _, s := range c.inflight {
+			// A zero-length (FIN-only) segment is never SACK-covered: its
+			// degenerate interval fits inside any block whose End touches
+			// finSeq, but a receiver that SACKs the final data segment has
+			// said nothing about the FIN. Marking it sacked here wedges the
+			// close — retransmitFront skips sacked segments and trySend
+			// refuses to run post-FIN, so every RTO becomes a no-op.
+			if s.length == 0 {
+				continue
+			}
 			if !s.sacked && seqGEQ(s.seq, b.Start) && seqLEQ(s.seq+uint32(s.length), b.End) {
 				s.sacked = true
 				c.delivered += uint64(s.length)

@@ -94,6 +94,10 @@ type ServiceLib struct {
 	// flushed in order on the next pump, so a data flood can delay but
 	// never lose a completion or connection event.
 	overflow []stalledEmit
+	// drain is the reusable job batch buffer: one pump pops whole ring
+	// spans at a time instead of element by element (§3.2 "batched
+	// interrupts").
+	drain []nqe.Element
 }
 
 type stalledEmit struct {
@@ -116,6 +120,7 @@ func New(cfg Config) *ServiceLib {
 		cfg:       cfg,
 		conns:     make(map[uint32]*connState),
 		listeners: make(map[uint32]*listenerState),
+		drain:     make([]nqe.Element, 64),
 	}
 	cfg.Pair.KickNSM = s.pump
 	return s
@@ -163,15 +168,24 @@ func (s *ServiceLib) flushOverflow() {
 // executor a kick-driven drain is the batched-interrupt variant.
 func (s *ServiceLib) pump() {
 	s.flushOverflow()
-	var e nqe.Element
-	for s.cfg.Pair.NSMJob.Pop(&e) {
-		s.stats.JobsProcessed++
-		s.handleJob(&e)
+	for {
+		n := s.cfg.Pair.NSMJob.PopBatch(s.drain)
+		if n == 0 {
+			break
+		}
+		s.stats.JobsProcessed += uint64(n)
+		for i := range s.drain[:n] {
+			s.handleJob(&s.drain[i])
+		}
 	}
 	s.flushOverflow()
 	if len(s.overflow) > 0 && s.cfg.Pair.KickEngineNSM != nil {
 		s.cfg.Pair.KickEngineNSM()
 	}
+	// The pump produced completions and events; deliver any partial
+	// doorbell batch before going idle.
+	s.cfg.Pair.NSMCompletion.Flush()
+	s.cfg.Pair.NSMReceive.Flush()
 }
 
 func (s *ServiceLib) handleJob(e *nqe.Element) {

@@ -66,6 +66,20 @@ func (d *Doorbell) Ring() {
 	}
 }
 
+// RingN records n units of produced work at once, waking the consumer at
+// most once however large n is — the per-batch doorbell of §3.2's
+// "batched interrupts". It is equivalent to n calls of Ring except that
+// intermediate batch boundaries inside the span coalesce into the single
+// wakeup the batch deserves.
+func (d *Doorbell) RingN(n int) {
+	if d.mode == Polling || n <= 0 {
+		return
+	}
+	if d.pending.Add(int32(n)) >= d.batch {
+		d.fire()
+	}
+}
+
 // Flush delivers any coalesced wakeups immediately. Producers call it
 // when they go idle so a partial batch is not stranded.
 func (d *Doorbell) Flush() {

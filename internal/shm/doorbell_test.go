@@ -70,6 +70,39 @@ func TestDoorbellBatchClamped(t *testing.T) {
 	}
 }
 
+func TestDoorbellRingNOneWakeupPerBatch(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 4)
+	// A span of 64 crosses 16 batch boundaries but must deliver exactly
+	// one wakeup: this is "one interrupt per batch", not per element.
+	d.RingN(64)
+	if !d.Wait(time.Second) {
+		t.Fatal("no wakeup after a full batch span")
+	}
+	if d.Wait(5 * time.Millisecond) {
+		t.Fatal("batched span delivered more than one wakeup")
+	}
+}
+
+func TestDoorbellRingNBelowBatchDefers(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 8)
+	d.RingN(3)
+	if d.Wait(10 * time.Millisecond) {
+		t.Fatal("woke before the batch filled")
+	}
+	d.RingN(5) // pending reaches 8: fires
+	if !d.Wait(time.Second) {
+		t.Fatal("did not wake once spans summed to a batch")
+	}
+}
+
+func TestDoorbellRingNPolling(t *testing.T) {
+	d := NewDoorbell(Polling, 4)
+	d.RingN(100) // must not panic or accumulate anything
+	if d.pending.Load() != 0 {
+		t.Fatal("polling RingN accumulated pending work")
+	}
+}
+
 func TestNotifyModeString(t *testing.T) {
 	if Polling.String() != "polling" || BatchedInterrupt.String() != "batched-interrupt" {
 		t.Fatal("NotifyMode String broken")

@@ -64,29 +64,97 @@ func (r *Ring) slot(pos uint64) []byte {
 // if the ring is full. The slot is not visible to the consumer until
 // Commit. Only the producer goroutine may call Reserve/Commit.
 func (r *Ring) Reserve() ([]byte, bool) {
-	tail := r.tail.Load()
-	if tail-r.head.Load() > r.mask {
+	span, n := r.ReserveN(1)
+	if n == 0 {
 		return nil, false
 	}
-	return r.slot(tail), true
+	return span, true
 }
 
 // Commit publishes the slot returned by the last Reserve.
 func (r *Ring) Commit() { r.tail.Add(1) }
 
+// ReserveN returns a contiguous span of up to max free slots for
+// in-place writing, as one backing-array slice of n*SlotSize bytes.
+// The span never wraps: a reservation that reaches the end of the
+// buffer is truncated there, and the next call returns the slots at the
+// start. n is 0 when the ring is full (or max <= 0). Nothing is visible
+// to the consumer until CommitN. Only the producer goroutine may call
+// ReserveN/CommitN.
+func (r *Ring) ReserveN(max int) (span []byte, n int) {
+	if max <= 0 {
+		return nil, 0
+	}
+	tail := r.tail.Load()
+	free := int(r.mask + 1 - (tail - r.head.Load()))
+	if free <= 0 {
+		return nil, 0
+	}
+	n = min(max, free)
+	idx := int(tail & r.mask)
+	if contig := int(r.mask) + 1 - idx; n > contig {
+		n = contig
+	}
+	off := idx * r.slotSize
+	end := off + n*r.slotSize
+	return r.buf[off:end:end], n
+}
+
+// CommitN publishes the first n slots of the span returned by the last
+// ReserveN with a single atomic add — the batch-publication the paper's
+// batched-interrupt design implies (§3.2).
+func (r *Ring) CommitN(n int) {
+	if n > 0 {
+		r.tail.Add(uint64(n))
+	}
+}
+
 // Front returns the oldest occupied slot for in-place reading, or false
 // if the ring is empty. The slot remains occupied until Release. Only the
 // consumer goroutine may call Front/Release.
 func (r *Ring) Front() ([]byte, bool) {
-	head := r.head.Load()
-	if head == r.tail.Load() {
+	span, n := r.FrontN(1)
+	if n == 0 {
 		return nil, false
 	}
-	return r.slot(head), true
+	return span, true
 }
 
 // Release frees the slot returned by the last Front.
 func (r *Ring) Release() { r.head.Add(1) }
+
+// FrontN returns a contiguous span of up to max occupied slots for
+// in-place reading (or patching), as one backing-array slice of
+// n*SlotSize bytes. Like ReserveN the span never wraps: it is truncated
+// at the buffer end and the next call returns the wrapped remainder.
+// n is 0 when the ring is empty. The slots stay occupied until
+// ReleaseN. Only the consumer goroutine may call FrontN/ReleaseN.
+func (r *Ring) FrontN(max int) (span []byte, n int) {
+	if max <= 0 {
+		return nil, 0
+	}
+	head := r.head.Load()
+	avail := int(r.tail.Load() - head)
+	if avail <= 0 {
+		return nil, 0
+	}
+	n = min(max, avail)
+	idx := int(head & r.mask)
+	if contig := int(r.mask) + 1 - idx; n > contig {
+		n = contig
+	}
+	off := idx * r.slotSize
+	end := off + n*r.slotSize
+	return r.buf[off:end:end], n
+}
+
+// ReleaseN frees the first n slots of the span returned by the last
+// FrontN with a single atomic add.
+func (r *Ring) ReleaseN(n int) {
+	if n > 0 {
+		r.head.Add(uint64(n))
+	}
+}
 
 // Enqueue copies src into the next free slot. src must be at most one
 // slot long. It reports false when the ring is full.

@@ -206,3 +206,182 @@ type errValue struct{ want, got uint64 }
 func (e errValue) Error() string {
 	return "out-of-order value"
 }
+
+func TestRingReserveNBasics(t *testing.T) {
+	r, _ := NewRing(8, 4)
+	if _, n := r.ReserveN(0); n != 0 {
+		t.Fatalf("ReserveN(0) = %d slots, want 0", n)
+	}
+	span, n := r.ReserveN(5)
+	if n != 5 || len(span) != 5*4 {
+		t.Fatalf("ReserveN(5) = %d slots, %d bytes; want 5, 20", n, len(span))
+	}
+	for i := 0; i < 5; i++ {
+		span[i*4] = byte(i)
+	}
+	// Not yet visible.
+	if _, n := r.FrontN(8); n != 0 {
+		t.Fatalf("uncommitted span visible: FrontN = %d slots", n)
+	}
+	r.CommitN(5)
+	got, n := r.FrontN(8)
+	if n != 5 {
+		t.Fatalf("FrontN = %d slots, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if got[i*4] != byte(i) {
+			t.Fatalf("slot %d = %d, want %d", i, got[i*4], i)
+		}
+	}
+	r.ReleaseN(5)
+	if !r.Empty() {
+		t.Fatal("ring not empty after ReleaseN")
+	}
+}
+
+// A span must never wrap: reservations and reads are truncated at the
+// buffer end and the next call returns the wrapped remainder.
+func TestRingBatchWraparound(t *testing.T) {
+	r, _ := NewRing(8, 1)
+	// Advance head/tail to 6 so a 5-slot batch straddles the boundary.
+	for i := 0; i < 6; i++ {
+		if !r.Enqueue([]byte{0}) || !r.Dequeue(make([]byte, 1)) {
+			t.Fatal("prefill failed")
+		}
+	}
+	span, n := r.ReserveN(5)
+	if n != 2 { // slots 6,7 only: truncated at the buffer end
+		t.Fatalf("ReserveN(5) at offset 6 = %d slots, want 2", n)
+	}
+	span[0], span[1] = 6, 7
+	r.CommitN(2)
+	span, n = r.ReserveN(3)
+	if n != 3 { // wrapped remainder at the start
+		t.Fatalf("wrapped ReserveN(3) = %d slots, want 3", n)
+	}
+	span[0], span[1], span[2] = 0, 1, 2
+	r.CommitN(3)
+
+	got, n := r.FrontN(8)
+	if n != 2 || got[0] != 6 || got[1] != 7 {
+		t.Fatalf("FrontN before boundary = %d slots %v, want 2 [6 7]", n, got[:n])
+	}
+	r.ReleaseN(2)
+	got, n = r.FrontN(8)
+	if n != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("FrontN after boundary = %d slots %v, want 3 [0 1 2]", n, got[:n])
+	}
+	r.ReleaseN(3)
+	if !r.Empty() {
+		t.Fatal("ring not empty after wrapped batch")
+	}
+}
+
+func TestRingBatchFullAndEmpty(t *testing.T) {
+	r, _ := NewRing(4, 1)
+	span, n := r.ReserveN(100)
+	if n != 4 || len(span) != 4 {
+		t.Fatalf("full-ring ReserveN = %d slots, want the whole ring (4)", n)
+	}
+	r.CommitN(4)
+	if _, n := r.ReserveN(1); n != 0 {
+		t.Fatalf("ReserveN on full ring = %d slots, want 0", n)
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	_, n = r.FrontN(100)
+	if n != 4 {
+		t.Fatalf("FrontN on full ring = %d slots, want 4", n)
+	}
+	r.ReleaseN(4)
+	if _, n := r.FrontN(1); n != 0 {
+		t.Fatalf("FrontN on empty ring = %d slots, want 0", n)
+	}
+}
+
+// Partial commit: committing fewer slots than reserved publishes only
+// the prefix, and the next ReserveN hands the rest out again.
+func TestRingPartialCommit(t *testing.T) {
+	r, _ := NewRing(8, 1)
+	span, n := r.ReserveN(6)
+	if n != 6 {
+		t.Fatalf("ReserveN(6) = %d", n)
+	}
+	span[0], span[1] = 10, 11
+	r.CommitN(2)
+	if r.Len() != 2 {
+		t.Fatalf("Len after partial commit = %d, want 2", r.Len())
+	}
+	span, n = r.ReserveN(6)
+	if n != 6 {
+		t.Fatalf("re-ReserveN(6) = %d", n)
+	}
+	span[0] = 12
+	r.CommitN(1)
+	var got []byte
+	for len(got) < 3 {
+		s, n := r.FrontN(8)
+		if n == 0 {
+			t.Fatalf("drained %d slots, want 3", len(got))
+		}
+		got = append(got, s[:n]...)
+		r.ReleaseN(n)
+	}
+	if got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Fatalf("drained %v, want [10 11 12]", got)
+	}
+}
+
+// One producer reserves/commits spans while one consumer drains spans;
+// every value must arrive exactly once, in order. Run with -race to
+// check that CommitN/ReleaseN publish whole spans correctly.
+func TestRingSPSCBatchConcurrent(t *testing.T) {
+	r, _ := NewRing(64, 8)
+	const n = 50000
+	errc := make(chan error, 1)
+	go func() {
+		i := uint64(0)
+		for i < n {
+			span, got := r.ReserveN(17) // deliberately co-prime with the ring size
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			fill := 0
+			for fill < got && i < n {
+				binary.LittleEndian.PutUint64(span[fill*8:], i)
+				i++
+				fill++
+			}
+			r.CommitN(fill)
+		}
+	}()
+	go func() {
+		i := uint64(0)
+		for i < n {
+			span, got := r.FrontN(23)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for s := 0; s < got; s++ {
+				if v := binary.LittleEndian.Uint64(span[s*8:]); v != i {
+					errc <- errValue{i, v}
+					return
+				}
+				i++
+			}
+			r.ReleaseN(got)
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SPSC batch exchange timed out")
+	}
+}

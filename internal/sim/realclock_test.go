@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// A timer stopped from inside the serialized region must not run, even
+// when the underlying time.Timer has already fired and its callback is
+// blocked on the clock mutex. This is the wall-clock analogue of
+// loopTimer's deterministic Stop; without it a canceled retransmission
+// timer can fire spuriously against post-cancel connection state.
+func TestRealClockStopCancelsFiredTimer(t *testing.T) {
+	c := NewRealClock()
+	ran := make(chan struct{}, 1)
+	c.Locked(func() {
+		tm := c.AfterFunc(0, func() { ran <- struct{}{} })
+		// Give the runtime timer time to fire and block on c.mu, then
+		// stop it while still holding the lock.
+		time.Sleep(20 * time.Millisecond)
+		tm.Stop()
+	})
+	select {
+	case <-ran:
+		t.Fatal("stopped timer callback ran anyway")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// A timer that is not stopped still runs exactly once.
+func TestRealClockAfterFuncRuns(t *testing.T) {
+	c := NewRealClock()
+	ran := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired")
+	}
+}
