@@ -1,0 +1,137 @@
+package chaostest
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"netkernel/internal/netsim"
+)
+
+// -chaos.seed=N replays every scenario with exactly one seed — the
+// one-line reproduction knob printed when a seeded run fails.
+var chaosSeed = flag.Uint64("chaos.seed", 0, "run chaos scenarios with this single seed instead of the fixed set")
+
+// -chaos.random adds one wall-clock-derived seed on top of the fixed
+// set; CI enables it so every run explores fresh schedules, and the
+// failure log carries the seed for replay.
+var chaosRandom = flag.Bool("chaos.random", false, "also run each scenario with one random seed")
+
+// fixedSeeds is the deterministic regression set every run covers.
+var fixedSeeds = []uint64{1, 7, 42}
+
+func seeds(t *testing.T) []uint64 {
+	if *chaosSeed != 0 {
+		return []uint64{*chaosSeed}
+	}
+	s := fixedSeeds
+	if *chaosRandom {
+		s = append(append([]uint64{}, s...), uint64(time.Now().UnixNano())|1)
+	}
+	return s
+}
+
+// lossyReorderLAN: a misbehaving 1 Gbit/s segment — random loss,
+// duplication, corruption, heavy reordering — plus doorbell faults,
+// sporadic queue stalls, and one mid-run link flap.
+func lossyReorderLAN() Profile {
+	return Profile{
+		Name:             "lossy-reorder-lan",
+		Link:             netsim.LossyReorderLAN(),
+		Flaps:            []Flap{{At: 300 * time.Millisecond, Outage: 40 * time.Millisecond}},
+		QueueStallProb:   0.01,
+		DoorbellDropProb: 0.05,
+		DoorbellDelayMax: 5 * time.Microsecond,
+		Conns:            8,
+		MaxBody:          128 << 10,
+		Spacing:          25 * time.Millisecond,
+		Watchdog:         5 * time.Second,
+		Run:              2 * time.Second,
+		Quiesce:          120 * time.Second,
+	}
+}
+
+// gilbertElliottWAN: the §4.3 intercontinental path with bursty GE
+// loss. 12 Mbit/s and a 350 ms RTT force small payloads and WAN-scale
+// TCP timers; the quiesce phase must outlast the full retransmission
+// give-up horizon at MinRTO=400ms.
+func gilbertElliottWAN() Profile {
+	return Profile{
+		Name:             "gilbert-elliott-wan",
+		Link:             netsim.WANPathGE(0.005, 0.2, 0.5),
+		DoorbellDropProb: 0.02,
+		Conns:            4,
+		MaxBody:          16 << 10,
+		Spacing:          500 * time.Millisecond,
+		Watchdog:         60 * time.Second,
+		Run:              30 * time.Second,
+		Quiesce:          1600 * time.Second,
+		MinRTO:           400 * time.Millisecond,
+		MSL:              time.Second,
+	}
+}
+
+// nsmCrashRestart: a clean 40G fabric, but the server-side network
+// stack module is killed and rebooted twice mid-workload. Connections
+// caught by a crash must fail terminally; later ones (and the
+// re-listen) must succeed against the fresh stack.
+func nsmCrashRestart() Profile {
+	return Profile{
+		Name:    "nsm-crash-restart",
+		Link:    netsim.Testbed40G(),
+		CrashAt: []time.Duration{150 * time.Millisecond, 400 * time.Millisecond},
+		Conns:   8,
+		MaxBody: 64 << 10,
+		Spacing: 60 * time.Millisecond,
+		// Crash victims only detect the dead peer via retransmission
+		// timeouts, so give them room before the watchdog reaps them.
+		Watchdog: 3 * time.Second,
+		Run:      2 * time.Second,
+		Quiesce:  120 * time.Second,
+	}
+}
+
+func runScenario(t *testing.T, prof Profile) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run(prof.Name, func(t *testing.T) {
+			res := RunAndCheck(t, seed, prof)
+			if t.Failed() {
+				t.Logf("seed %d: %d conns, restarts=%d", seed, len(res.Conns), res.Restarts)
+			}
+		})
+	}
+}
+
+func TestChaosLossyReorderLAN(t *testing.T) { runScenario(t, lossyReorderLAN()) }
+
+func TestChaosGilbertElliottWAN(t *testing.T) { runScenario(t, gilbertElliottWAN()) }
+
+func TestChaosNSMCrashRestart(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		prof := nsmCrashRestart()
+		t.Run(prof.Name, func(t *testing.T) {
+			res := RunAndCheck(t, seed, prof)
+			if res.Restarts != len(prof.CrashAt) {
+				t.Errorf("[seed %d] expected %d NSM restarts, got %d", seed, len(prof.CrashAt), res.Restarts)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism is the replay contract: the same seed must
+// produce a byte-identical event trace and identical statistics, or
+// -chaos.seed is useless as a reproduction tool.
+func TestChaosDeterminism(t *testing.T) {
+	prof := lossyReorderLAN()
+	const seed = 1234
+	a := Run(seed, prof)
+	b := Run(seed, prof)
+	if diff, ok := Equal(a, b); !ok {
+		t.Fatalf("two runs with seed %d diverged: %s", seed, diff)
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("empty trace: the scenario recorded nothing")
+	}
+}

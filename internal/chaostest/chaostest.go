@@ -1,0 +1,611 @@
+// Package chaostest runs seeded, randomized end-to-end scenarios
+// against the full NetKernel pipeline — GuestLib → CoreEngine →
+// ServiceLib → stack → fabric — in virtual time, with faults injected
+// at every layer: link loss (Bernoulli and bursty Gilbert–Elliott),
+// reordering, duplication, bit corruption, link flaps, stalled nqe
+// queues, dropped/delayed doorbells, and NSM crash+reboot.
+//
+// After each run a set of invariants must hold regardless of the fault
+// schedule:
+//
+//   - Byte integrity: every byte an application received is exactly a
+//     prefix of what the peer sent (full equality for cleanly closed
+//     connections) — TCP over shared memory never reorders, drops, or
+//     corrupts data at the socket API.
+//   - Terminal states: every connection ends closed or failed; nothing
+//     wedges half-open.
+//   - No leaks: the event loop drains to empty (no stuck timers), every
+//     shared-memory chunk returns to its pool, the engine's fd↔cID
+//     table empties, and every stack's connection table empties.
+//   - Conservation: per-link frames offered equal transmitted plus the
+//     three drop classes; per-switch frames received equal forwarded
+//     plus flooded plus dropped.
+//
+// Every run is deterministic: the same seed produces the identical
+// event trace and identical final statistics, so any failure is
+// reproducible from the one-line seed in the test log (-chaos.seed=N).
+package chaostest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"netkernel/internal/guestlib"
+	"netkernel/internal/hypervisor"
+	"netkernel/internal/netsim"
+	"netkernel/internal/nkqueue"
+	"netkernel/internal/proto/ipv4"
+	"netkernel/internal/sim"
+	"netkernel/internal/vswitch"
+)
+
+// Profile is one chaos scenario: a fault environment plus a workload.
+type Profile struct {
+	Name string
+	// Link shapes both directions of the inter-host path, including
+	// netsim-level faults (loss, GE bursts, reorder, duplication,
+	// corruption).
+	Link netsim.LinkConfig
+	// Flaps schedules link outages: each entry downs both directions
+	// at At (measured from workload start) for Outage.
+	Flaps []Flap
+
+	// QueueStallProb fails nqe-queue pushes with this probability
+	// (fault-injected "queue stall": the push behaves as if the ring
+	// were full).
+	QueueStallProb float64
+	// DoorbellDropProb swallows doorbell wakeups (level-triggered: the
+	// pending count survives, so a later ring re-fires).
+	DoorbellDropProb float64
+	// DoorbellDelayMax defers doorbell wakeups by a random
+	// 0..DoorbellDelayMax.
+	DoorbellDelayMax time.Duration
+	// CrashAt reboots the server-side NSM at these times (from
+	// workload start).
+	CrashAt []time.Duration
+
+	// Conns is how many client connections the workload opens.
+	Conns int
+	// MaxBody bounds the per-connection payload (1..MaxBody bytes).
+	MaxBody int
+	// Spacing staggers connection starts.
+	Spacing time.Duration
+	// Watchdog force-closes a connection that has not reached a
+	// terminal state this long after it started, so a lost FIN or a
+	// silently dead peer cannot leave it half-open forever.
+	Watchdog time.Duration
+	// Run is the main-phase virtual duration; Quiesce is the drain
+	// phase after the workload shuts down. Quiesce must exceed the
+	// longest timer horizon (TCP retransmission give-up).
+	Run, Quiesce time.Duration
+
+	// TCP/host knobs (zero = harness defaults, tuned for a LAN RTT).
+	MinRTO time.Duration
+	MSL    time.Duration
+}
+
+// Flap is one scheduled link outage.
+type Flap struct {
+	At     time.Duration
+	Outage time.Duration
+}
+
+// ConnReport is the post-run record of one workload connection.
+type ConnReport struct {
+	ID          int
+	Established bool
+	EstErr      error
+	Closed      bool
+	CloseErr    error
+	SentBytes   int    // accepted by the socket API
+	EchoedBytes int    // received back
+	PayloadLen  int    // intended transfer size
+	Integrity   string // non-empty when the echo diverged from the payload
+}
+
+// Result is everything a run produces, for invariant checking and
+// determinism comparison.
+type Result struct {
+	Seed  uint64
+	Trace []string
+	Conns []ConnReport
+
+	L12, L21   netsim.LinkStats
+	Sw1, Sw2   vswitch.Stats
+	Eng1, Eng2 hypervisor.EngineStats
+	Pending    int
+	Restarts   int
+}
+
+const (
+	chaosPort = 7777
+	headerLen = 8 // conn id (4B) + body length (4B)
+)
+
+var (
+	clientIP = ipv4.Addr{10, 0, 1, 1}
+	serverIP = ipv4.Addr{10, 0, 2, 1}
+)
+
+type harness struct {
+	prof Profile
+	seed uint64
+
+	loop     *sim.Loop
+	h1, h2   *hypervisor.Host
+	l12, l21 *netsim.Link
+	client   *hypervisor.VM
+	server   *hypervisor.VM
+
+	frng *sim.RNG // fault draws (queue stalls, doorbells)
+	wrng *sim.RNG // workload shape (payload sizes and content)
+
+	trace    []string
+	conns    []*cconn
+	recvBuf  []byte
+	shutdown bool
+	lfd      int32
+}
+
+type cconn struct {
+	id      int
+	fd      int32
+	payload []byte // header + body
+	sent    int
+	echoed  []byte
+
+	established bool
+	estErr      error
+	closed      bool
+	closeErr    error
+	watchdog    sim.Timer
+}
+
+// srvConn tracks one accepted connection on the server.
+type srvConn struct {
+	fd      int32
+	rcvd    int    // inbound byte count
+	need    int    // total expected (header + body); -1 until parsed
+	hdr     []byte // first bytes, until the header parses
+	echo    []byte // bytes received but not yet echoed back
+	closing bool
+}
+
+func (h *harness) tracef(format string, args ...interface{}) {
+	h.trace = append(h.trace, fmt.Sprintf("%12d %s", int64(h.loop.Now()), fmt.Sprintf(format, args...)))
+}
+
+func newHarness(seed uint64, prof Profile) *harness {
+	if prof.MinRTO == 0 {
+		prof.MinRTO = 20 * time.Millisecond
+	}
+	if prof.MSL == 0 {
+		prof.MSL = 50 * time.Millisecond
+	}
+	return &harness{
+		prof:    prof,
+		seed:    seed,
+		loop:    sim.NewLoop(),
+		frng:    sim.NewRNG(seed ^ 0x9e3779b97f4a7c15),
+		wrng:    sim.NewRNG(seed ^ 0xbf58476d1ce4e5b9),
+		recvBuf: make([]byte, 64<<10),
+	}
+}
+
+// Run executes one seeded chaos scenario and returns its Result. It
+// does not assert; Check applies the invariants.
+func Run(seed uint64, prof Profile) *Result {
+	return newHarness(seed, prof).run()
+}
+
+func (h *harness) run() *Result {
+	prof := h.prof
+	mk := func(name string, id uint8) *hypervisor.Host {
+		return hypervisor.NewHost(hypervisor.HostConfig{
+			Name: name, Clock: h.loop, RNG: sim.NewRNG(h.seed + uint64(id)),
+			HostID: id, Cores: 8,
+			MinRTO: prof.MinRTO, MSL: prof.MSL,
+			// Queue stalls can swallow the push whose completion would
+			// have been the next wakeup; the recovery timer guarantees
+			// faults delay work instead of wedging it.
+			StallRecovery: 10 * time.Microsecond,
+		})
+	}
+	h.h1 = mk("chaos1", 1)
+	h.h2 = mk("chaos2", 2)
+	linkRNG := sim.NewRNG(h.seed)
+	h.l12, h.l21 = netsim.Duplex(h.loop, linkRNG, prof.Link, h.h1.NIC, h.h2.NIC)
+	h.h1.NIC.AttachWire(h.l12)
+	h.h2.NIC.AttachWire(h.l21)
+
+	spec := hypervisor.NSMSpec{Form: hypervisor.FormModule, CC: "cubic"}
+	var err error
+	h.client, err = h.h1.CreateVM(hypervisor.VMConfig{Name: "cli", IP: clientIP, Mode: hypervisor.ModeNetKernel, NSM: spec})
+	if err != nil {
+		panic(err)
+	}
+	h.server, err = h.h2.CreateVM(hypervisor.VMConfig{Name: "srv", IP: serverIP, Mode: hypervisor.ModeNetKernel, NSM: spec})
+	if err != nil {
+		panic(err)
+	}
+	h.wireChannelFaults()
+	h.loop.RunFor(50 * time.Millisecond) // NSM boot
+
+	h.startServer()
+	for i := 0; i < prof.Conns; i++ {
+		i := i
+		h.loop.AfterFunc(time.Duration(i)*prof.Spacing, func() { h.startConn(i) })
+	}
+	for _, f := range prof.Flaps {
+		h.l12.ScheduleFlap(f.At, f.Outage)
+		h.l21.ScheduleFlap(f.At, f.Outage)
+	}
+	for _, at := range prof.CrashAt {
+		at := at
+		h.loop.AfterFunc(at, func() {
+			h.tracef("chaos: crash server NSM")
+			h.h2.RestartNSM(h.server.NSM)
+		})
+	}
+
+	h.loop.RunFor(prof.Run)
+	h.shutdown = true
+	h.closeStragglers()
+	h.loop.RunFor(prof.Quiesce)
+
+	res := &Result{
+		Seed:  h.seed,
+		Trace: h.trace,
+		L12:   h.l12.Stats(), L21: h.l21.Stats(),
+		Sw1: h.h1.Switch.Stats(), Sw2: h.h2.Switch.Stats(),
+		Eng1: h.h1.Engine.Stats(), Eng2: h.h2.Engine.Stats(),
+		Pending:  h.loop.Pending(),
+		Restarts: h.server.NSM.Restarts,
+	}
+	for _, c := range h.conns {
+		r := ConnReport{
+			ID: c.id, Established: c.established, EstErr: c.estErr,
+			Closed: c.closed, CloseErr: c.closeErr,
+			SentBytes: c.sent, EchoedBytes: len(c.echoed), PayloadLen: len(c.payload),
+		}
+		if !bytes.HasPrefix(c.payload, c.echoed) {
+			r.Integrity = fmt.Sprintf("echo of %d bytes is not a prefix of the %d-byte payload",
+				len(c.echoed), len(c.payload))
+		}
+		res.Conns = append(res.Conns, r)
+	}
+	return res
+}
+
+// wireChannelFaults installs queue-stall and doorbell faults on every
+// ring of both VM↔NSM channels, drawing from the fault RNG.
+func (h *harness) wireChannelFaults() {
+	p := h.prof
+	for _, vm := range []*hypervisor.VM{h.client, h.server} {
+		for _, pair := range vm.Guest.Pairs() {
+			queues := []nkqueue.Q{
+				pair.VMJob, pair.VMCompletion, pair.VMReceive,
+				pair.NSMJob, pair.NSMCompletion, pair.NSMReceive,
+			}
+			for _, q := range queues {
+				if p.QueueStallProb > 0 {
+					prob := p.QueueStallProb
+					q.SetPushStall(func() bool { return h.frng.Bernoulli(prob) })
+				}
+				if p.DoorbellDropProb > 0 || p.DoorbellDelayMax > 0 {
+					var drop func() bool
+					if p.DoorbellDropProb > 0 {
+						prob := p.DoorbellDropProb
+						drop = func() bool { return h.frng.Bernoulli(prob) }
+					}
+					var delay func() time.Duration
+					if p.DoorbellDelayMax > 0 {
+						max := int(p.DoorbellDelayMax)
+						delay = func() time.Duration { return time.Duration(h.frng.Intn(max)) }
+					}
+					q.Doorbell().SetWakeupFaults(drop, delay, h.loop)
+				}
+			}
+		}
+	}
+}
+
+// startServer installs a listener that echoes every connection's bytes
+// back and re-listens after an NSM crash kills it.
+func (h *harness) startServer() {
+	g := h.server.Guest
+	var lfd int32
+	lfd = g.Socket(guestlib.Callbacks{
+		OnAcceptable: func() {
+			for {
+				fd, ok := g.Accept(lfd)
+				if !ok {
+					return
+				}
+				h.serveConn(fd)
+			}
+		},
+		OnClose: func(err error) {
+			h.tracef("server: listener closed (%v)", err)
+			if !h.shutdown {
+				h.startServer() // the module rebooted: open shop again
+			}
+		},
+	})
+	if err := g.Listen(lfd, chaosPort, 64); err != nil {
+		panic(err)
+	}
+	h.lfd = lfd
+	h.tracef("server: listening fd=%d", lfd)
+}
+
+func (h *harness) serveConn(fd int32) {
+	g := h.server.Guest
+	sc := &srvConn{fd: fd, need: -1}
+	h.tracef("server: accepted fd=%d", fd)
+
+	pushEcho := func() {
+		for len(sc.echo) > 0 {
+			n := g.Send(sc.fd, sc.echo)
+			if n == 0 {
+				return
+			}
+			sc.echo = sc.echo[n:]
+		}
+		if sc.need >= 0 && sc.rcvd == sc.need && !sc.closing {
+			sc.closing = true
+			h.tracef("server: fd=%d echoed %d bytes, closing", sc.fd, sc.need)
+			g.Close(sc.fd)
+		}
+	}
+	read := func() {
+		for {
+			n, eof := g.Recv(sc.fd, h.recvBuf)
+			if n > 0 {
+				sc.rcvd += n
+				sc.echo = append(sc.echo, h.recvBuf[:n]...)
+				if sc.need < 0 {
+					sc.hdr = append(sc.hdr, h.recvBuf[:n]...)
+					if len(sc.hdr) >= headerLen {
+						sc.need = headerLen + int(binary.BigEndian.Uint32(sc.hdr[4:8]))
+						sc.hdr = nil
+					}
+				}
+			}
+			if n == 0 {
+				if eof && !sc.closing {
+					// The client quit early (watchdog, reset): release
+					// our side too.
+					sc.closing = true
+					g.Close(sc.fd)
+				}
+				return
+			}
+		}
+	}
+	g.SetCallbacks(fd, guestlib.Callbacks{
+		// Echo after every drain: OnWritable alone only fires on a
+		// stalled→writable transition, which never happens if the
+		// first Send is never attempted.
+		OnReadable: func() { read(); pushEcho() },
+		OnWritable: pushEcho,
+		OnClose: func(err error) {
+			h.tracef("server: fd=%d closed (%v) after %d bytes", sc.fd, err, sc.rcvd)
+		},
+	})
+	read()
+	pushEcho()
+}
+
+// startConn opens workload connection i: send a framed payload, expect
+// it echoed verbatim, close cleanly.
+func (h *harness) startConn(i int) {
+	g := h.client.Guest
+	body := make([]byte, 1+h.wrng.Intn(h.prof.MaxBody))
+	for j := 0; j+8 <= len(body); j += 8 {
+		binary.BigEndian.PutUint64(body[j:], h.wrng.Uint64())
+	}
+	c := &cconn{id: i, payload: make([]byte, headerLen+len(body))}
+	binary.BigEndian.PutUint32(c.payload[0:], uint32(i))
+	binary.BigEndian.PutUint32(c.payload[4:], uint32(len(body)))
+	copy(c.payload[headerLen:], body)
+	h.conns = append(h.conns, c)
+
+	pushMore := func() {
+		if c.closed || !c.established {
+			return
+		}
+		for c.sent < len(c.payload) {
+			n := g.Send(c.fd, c.payload[c.sent:])
+			if n == 0 {
+				return
+			}
+			c.sent += n
+		}
+	}
+	c.fd = g.Socket(guestlib.Callbacks{
+		OnEstablished: func(err error) {
+			if err != nil {
+				c.estErr = err
+				h.tracef("conn %d: establish failed (%v)", c.id, err)
+				return
+			}
+			c.established = true
+			h.tracef("conn %d: established, sending %d bytes", c.id, len(c.payload))
+			pushMore()
+		},
+		OnWritable: pushMore,
+		OnReadable: func() {
+			for {
+				n, eof := g.Recv(c.fd, h.recvBuf)
+				if n > 0 {
+					c.echoed = append(c.echoed, h.recvBuf[:n]...)
+				}
+				if n == 0 {
+					if eof && !c.closed {
+						h.tracef("conn %d: echo complete (%d bytes), closing", c.id, len(c.echoed))
+						g.Close(c.fd)
+					}
+					return
+				}
+			}
+		},
+		OnClose: func(err error) {
+			c.closed = true
+			c.closeErr = err
+			if c.watchdog != nil {
+				c.watchdog.Stop()
+			}
+			h.tracef("conn %d: closed (%v) sent=%d echoed=%d", c.id, err, c.sent, len(c.echoed))
+		},
+	})
+	h.tracef("conn %d: connect fd=%d", c.id, c.fd)
+	if err := g.Connect(c.fd, serverIP, chaosPort); err != nil {
+		c.estErr = err
+		return
+	}
+	c.watchdog = h.loop.AfterFunc(h.prof.Watchdog, func() {
+		if !c.closed {
+			h.tracef("conn %d: watchdog close", c.id)
+			g.Close(c.fd)
+		}
+	})
+}
+
+// closeStragglers force-closes anything the workload left open so the
+// quiesce phase can drain to zero.
+func (h *harness) closeStragglers() {
+	for _, c := range h.conns {
+		if !c.closed {
+			h.client.Guest.Close(c.fd)
+		}
+	}
+	h.server.Guest.Close(h.lfd)
+}
+
+// Check applies the post-run invariants that live in the Result.
+func Check(t *testing.T, h *Result) {
+	t.Helper()
+	fail := func(format string, args ...interface{}) {
+		t.Helper()
+		t.Errorf("[seed %d] "+format, append([]interface{}{h.Seed}, args...)...)
+	}
+
+	established := 0
+	for _, c := range h.Conns {
+		terminal := c.Closed || (!c.Established && c.EstErr != nil)
+		if !terminal {
+			fail("conn %d not terminal: established=%v closed=%v", c.ID, c.Established, c.Closed)
+		}
+		if c.Established {
+			established++
+		}
+		if c.Integrity != "" {
+			fail("conn %d integrity: %s", c.ID, c.Integrity)
+		}
+		if c.Closed && c.CloseErr == nil && c.EstErr == nil {
+			if c.EchoedBytes != c.PayloadLen || c.SentBytes != c.PayloadLen {
+				fail("conn %d closed clean but sent %d, echoed %d of %d bytes",
+					c.ID, c.SentBytes, c.EchoedBytes, c.PayloadLen)
+			}
+		}
+	}
+	if established == 0 {
+		fail("no connection ever established — the scenario exercised nothing")
+	}
+
+	if h.Pending != 0 {
+		fail("event loop still holds %d timers after quiesce", h.Pending)
+	}
+
+	for dir, ls := range map[string]netsim.LinkStats{"h1→h2": h.L12, "h2→h1": h.L21} {
+		if ls.Offered != ls.TxFrames+ls.LossDrops+ls.QueueDrops+ls.DownDrops {
+			fail("link %s: offered %d != tx %d + loss %d + queue %d + down %d",
+				dir, ls.Offered, ls.TxFrames, ls.LossDrops, ls.QueueDrops, ls.DownDrops)
+		}
+	}
+	for name, sw := range map[string]vswitch.Stats{"h1": h.Sw1, "h2": h.Sw2} {
+		if sw.RxFrames != sw.Forwarded+sw.Flooded+sw.Dropped {
+			fail("switch %s: rx %d != fwd %d + flood %d + drop %d",
+				name, sw.RxFrames, sw.Forwarded, sw.Flooded, sw.Dropped)
+		}
+	}
+}
+
+// checkPools verifies the leak invariants that need live objects (the
+// Result only carries value snapshots): huge-page chunks, engine
+// mappings, and stack connection tables.
+func (h *harness) checkPools(t *testing.T) {
+	t.Helper()
+	for _, vm := range []*hypervisor.VM{h.client, h.server} {
+		for i, pair := range vm.Guest.Pairs() {
+			if pair.Pages.FreeCount() != pair.Pages.Chunks() {
+				t.Errorf("[seed %d] %s pair %d leaked chunks: %d free of %d",
+					h.seed, vm.Name, i, pair.Pages.FreeCount(), pair.Pages.Chunks())
+			}
+		}
+	}
+	for name, host := range map[string]*hypervisor.Host{"h1": h.h1, "h2": h.h2} {
+		if n := host.Engine.Mappings(); n != 0 {
+			t.Errorf("[seed %d] engine %s holds %d fd↔cID mappings after quiesce", h.seed, name, n)
+		}
+	}
+	for _, nsm := range []*hypervisor.NSM{h.client.NSM, h.server.NSM} {
+		if n := nsm.Stack.ConnCount(); n != 0 {
+			t.Errorf("[seed %d] stack %s holds %d connections after quiesce", h.seed, nsm.Stack.Name(), n)
+		}
+	}
+}
+
+// RunAndCheck executes the scenario and applies every invariant,
+// logging the trace on failure.
+func RunAndCheck(t *testing.T, seed uint64, prof Profile) *Result {
+	t.Helper()
+	h := newHarness(seed, prof)
+	res := h.run()
+	Check(t, res)
+	h.checkPools(t)
+	if t.Failed() {
+		for _, line := range res.Trace {
+			t.Log(line)
+		}
+		t.Logf("reproduce with: go test ./internal/chaostest/ -run %s -chaos.seed=%d", t.Name(), seed)
+	}
+	return res
+}
+
+// Equal reports whether two results are identical — the determinism
+// contract: same seed, same trace, same stats.
+func Equal(a, b *Result) (string, bool) {
+	if len(a.Trace) != len(b.Trace) {
+		return fmt.Sprintf("trace length %d vs %d", len(a.Trace), len(b.Trace)), false
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			return fmt.Sprintf("trace[%d]: %q vs %q", i, a.Trace[i], b.Trace[i]), false
+		}
+	}
+	if a.L12 != b.L12 || a.L21 != b.L21 {
+		return "link stats differ", false
+	}
+	if a.Sw1 != b.Sw1 || a.Sw2 != b.Sw2 {
+		return "switch stats differ", false
+	}
+	if a.Eng1 != b.Eng1 || a.Eng2 != b.Eng2 {
+		return "engine stats differ", false
+	}
+	if len(a.Conns) != len(b.Conns) {
+		return "conn counts differ", false
+	}
+	for i := range a.Conns {
+		ca, cb := a.Conns[i], b.Conns[i]
+		if ca.SentBytes != cb.SentBytes || ca.EchoedBytes != cb.EchoedBytes ||
+			ca.Established != cb.Established || ca.Closed != cb.Closed {
+			return fmt.Sprintf("conn %d outcomes differ", i), false
+		}
+	}
+	return "", true
+}

@@ -14,6 +14,7 @@ package guestlib
 
 import (
 	"fmt"
+	"time"
 
 	"netkernel/internal/nkchan"
 	"netkernel/internal/nqe"
@@ -78,6 +79,13 @@ type Config struct {
 	// SendCredit bounds bytes in the huge pages awaiting the NSM per
 	// socket (default 1 MiB): the shm-level send window.
 	SendCredit int
+	// StallRecovery, when positive, arms a virtual-time retry timer
+	// whenever a push finds the job queue full or fault-stalled. The
+	// production pipeline is purely kick-driven and leaves this zero;
+	// fault-injection harnesses set it so an injected queue stall can
+	// delay work but never wedge it (a stall may swallow the very push
+	// whose completion would have been the next wakeup).
+	StallRecovery time.Duration
 }
 
 // Stats counts GuestLib activity.
@@ -172,6 +180,8 @@ type GuestLib struct {
 	// pops whole ring spans at a time instead of element by element
 	// (§3.2 "batched interrupts").
 	drain []nqe.Element
+	// retryArmed guards the Config.StallRecovery retry timer.
+	retryArmed bool
 }
 
 type pendingOp struct {
@@ -205,6 +215,45 @@ func New(cfg Config) *GuestLib {
 // Replicas returns how many NSM channels the guest spreads over.
 func (g *GuestLib) Replicas() int { return len(g.pairs) }
 
+// Pairs returns the guest's NSM channels (fault-injection surface for
+// the chaos suite).
+func (g *GuestLib) Pairs() []*nkchan.Pair { return g.pairs }
+
+// noteBackpressure arms the retry timer after a failed push. A no-op
+// unless Config.StallRecovery is set: the kick-driven pipeline recovers
+// full queues through completion traffic on its own, and only injected
+// faults can strand work with no inbound kick due. One timer serves the
+// whole GuestLib; it re-arms itself while backlog remains.
+func (g *GuestLib) noteBackpressure() {
+	if g.cfg.StallRecovery <= 0 || g.retryArmed {
+		return
+	}
+	g.retryArmed = true
+	g.cfg.Clock.AfterFunc(g.cfg.StallRecovery, func() {
+		g.retryArmed = false
+		g.retryBacklog()
+	})
+}
+
+// retryBacklog replays queued control operations and write-stalled
+// sockets without waiting for an inbound kick.
+func (g *GuestLib) retryBacklog() {
+	for len(g.pendingOps) > 0 {
+		op := g.pendingOps[0]
+		if !g.push(op.pair, &op.e) {
+			break
+		}
+		g.pendingOps = g.pendingOps[1:]
+	}
+	g.wakeStalled()
+	for _, p := range g.pairs {
+		p.VMJob.Flush()
+	}
+	if len(g.pendingOps) > 0 {
+		g.noteBackpressure()
+	}
+}
+
 // Stats returns a copy of the counters.
 func (g *GuestLib) Stats() Stats { return g.stats }
 
@@ -237,6 +286,7 @@ func (g *GuestLib) Socket(cbs Callbacks) int32 {
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd}
 	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
 		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+		g.noteBackpressure()
 	}
 	return fd
 }
@@ -252,6 +302,7 @@ func (g *GuestLib) SocketDatagram(cbs Callbacks) int32 {
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Arg0: 1 /* datagram */}
 	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
 		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+		g.noteBackpressure()
 	}
 	return fd
 }
@@ -355,6 +406,7 @@ func (g *GuestLib) pushWhenReady(s *socket, e *nqe.Element) {
 	}
 	if len(g.pendingOps) > 0 || !g.push(s.pair, e) {
 		g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, e: *e})
+		g.noteBackpressure()
 	}
 }
 
@@ -433,6 +485,9 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 		if !g.push(s.pair, e) {
 			s.pair.Pages.Free(chunk)
 			g.markStalled(s)
+			// A fault-stalled job queue may never kick us back; under
+			// injected faults a timer retries (no-op otherwise).
+			g.noteBackpressure()
 			break
 		}
 		s.credit -= n
@@ -545,6 +600,9 @@ func (g *GuestLib) pump(pair *nkchan.Pair) {
 		}
 		g.pendingOps = g.pendingOps[1:]
 	}
+	if len(g.pendingOps) > 0 {
+		g.noteBackpressure()
+	}
 	g.wakeStalled()
 	// The pump produced jobs (credits, retried ops); deliver any partial
 	// doorbell batch before going idle.
@@ -596,11 +654,35 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 		// The NSM consumed a chunk: credit returns.
 		s.credit += int(e.DataLen)
 	case nqe.OpSocket:
+		if e.Status != nqe.StatusOK {
+			// The CoreEngine could not install the mapping (the NSM
+			// crashed or rejected the socket): dead on arrival. Deferred
+			// operations are dropped; the application learns through the
+			// usual terminal callbacks.
+			s.deferred = nil
+			wasConnecting := s.state == stConnecting
+			wasClosed := s.state == stClosed
+			s.state = stClosed
+			s.eof = true
+			s.closeErr = e.Status.Err()
+			if wasConnecting && s.cbs.OnEstablished != nil {
+				s.cbs.OnEstablished(s.closeErr)
+			}
+			if !wasClosed && s.cbs.OnClose != nil {
+				s.cbs.OnClose(s.closeErr)
+			}
+			return
+		}
 		// The CoreEngine installed the fd↔cID mapping: deferred control
-		// operations may flow.
+		// operations may flow. A full job queue reroutes them through
+		// the retry backlog rather than dropping them.
 		s.ready = true
 		for i := range s.deferred {
-			g.push(s.pair, &s.deferred[i])
+			op := s.deferred[i]
+			if len(g.pendingOps) > 0 || !g.push(s.pair, &op) {
+				g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, e: op})
+				g.noteBackpressure()
+			}
 		}
 		s.deferred = nil
 	case nqe.OpListen, nqe.OpRecv, nqe.OpClose, nqe.OpSetSockOpt:

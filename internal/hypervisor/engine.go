@@ -1,11 +1,13 @@
 package hypervisor
 
 import (
+	"sort"
 	"time"
 
 	"netkernel/internal/nkchan"
 	"netkernel/internal/nkqueue"
 	"netkernel/internal/nqe"
+	"netkernel/internal/shm"
 	"netkernel/internal/sim"
 )
 
@@ -51,6 +53,10 @@ type EngineStats struct {
 	NqesNSMToVM uint64
 	Translated  uint64
 	BadElements uint64
+	// NSM crash handling (ResetNSM).
+	NSMResets         uint64
+	ResetConns        uint64 // mappings force-closed by a reset
+	DiscardedElements uint64 // in-flight nqes dropped by a reset
 }
 
 // Mappings returns the total live fd↔cID entries across pairs
@@ -273,7 +279,12 @@ func (ep *enginePair) translateSlotToNSM(s nqe.Slot) bool {
 	default:
 		cid, ok := ep.fdToCID[s.FD()]
 		if !ok {
-			// Unknown descriptor: answer the VM with an error.
+			// Unknown descriptor: answer the VM with an error. The data
+			// offset in a rejected element is guest-controlled and cannot
+			// be trusted, so the engine must NOT free it — a forged
+			// element could otherwise release a chunk owned by a live
+			// transfer. Any real chunk behind a bogus send stays charged
+			// to the misbehaving guest's own credit.
 			ce.stats.BadElements++
 			ep.pushToVM(nqe.Element{
 				Op: s.Op(), FD: s.FD(), Seq: s.Seq(), VMID: ep.vmID,
@@ -432,6 +443,122 @@ func (ep *enginePair) translateSlotToVM(s nqe.Slot) bool {
 	}
 	ce.stats.Translated++
 	return true
+}
+
+// ResetNSM handles the crash of module nsmID: for every channel the
+// module served, in-flight elements are discarded (their huge-page
+// chunks returned to the pool the hypervisor owns), socket jobs the
+// module will never answer get error completions, every mapped
+// connection is reported closed-by-reset to its guest, and the mapping
+// tables are cleared. readyAt gates pumping until the replacement
+// module has booted; the guest-facing notifications go out immediately.
+func (ce *CoreEngine) ResetNSM(nsmID uint32, readyAt sim.Time) {
+	for _, ep := range ce.pairs {
+		if ep.nsmID == nsmID {
+			ep.reset(readyAt)
+		}
+	}
+}
+
+func (ep *enginePair) reset(readyAt sim.Time) {
+	ce := ep.engine
+	ce.stats.NSMResets++
+	ep.readyAt = readyAt
+
+	// The module's queues die with it. NSM-side output queues hold
+	// events the module produced before crashing; the NSM job queue
+	// holds work it never got to. Both are gone — only the data chunks
+	// survive, back into the pool.
+	ep.discardQueue(ep.ch.NSMCompletion)
+	ep.discardQueue(ep.ch.NSMReceive)
+	ep.discardQueue(ep.ch.NSMJob)
+	for i := range ep.stalledToNSM {
+		ep.freeChunk(&ep.stalledToNSM[i])
+	}
+	ce.stats.DiscardedElements += uint64(len(ep.stalledToNSM))
+	ep.stalledToNSM = nil
+	for i := range ep.stalledToVM {
+		ep.freeChunk(&ep.stalledToVM[i].e)
+	}
+	ce.stats.DiscardedElements += uint64(len(ep.stalledToVM))
+	ep.stalledToVM = nil
+
+	// Socket jobs already forwarded will never complete: answer them
+	// with error completions so the guest's deferred operations fail
+	// fast instead of wedging. Sorted for deterministic replay.
+	seqs := make([]uint64, 0, len(ep.pendingFD))
+	for seq := range ep.pendingFD {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		ep.deliverOrStall(nqe.Element{
+			Op: nqe.OpSocket, FD: ep.pendingFD[seq], Seq: seq,
+			Source: nqe.FromCore, Status: nqe.StatusConnReset,
+			Flags: nqe.FlagCompletion,
+		}, true)
+	}
+	ep.pendingFD = make(map[uint64]int32)
+
+	// Every mapped connection died with the module: tell each guest
+	// socket it was reset.
+	fds := make([]int32, 0, len(ep.fdToCID))
+	for fd := range ep.fdToCID {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	for _, fd := range fds {
+		ep.deliverOrStall(nqe.Element{
+			Op: nqe.OpConnClosed, FD: fd,
+			Source: nqe.FromCore, Status: nqe.StatusConnReset,
+		}, false)
+	}
+	ce.stats.ResetConns += uint64(len(fds))
+	ep.fdToCID = make(map[int32]uint32)
+	ep.cidToFD = make(map[uint32]int32)
+
+	// Wake the guest to process the notifications now — the boot gate
+	// only holds back queue pumping, not crash reporting.
+	ep.ch.VMCompletion.Flush()
+	ep.ch.VMReceive.Flush()
+	ce.clock.AfterFunc(ep.notify, func() {
+		if ep.ch.KickVM != nil {
+			ep.ch.KickVM()
+		}
+	})
+}
+
+// deliverOrStall pushes a reset notification to the VM, parking it in
+// the stalled buffer when the queue is full (pumpNSM retries it).
+func (ep *enginePair) deliverOrStall(e nqe.Element, completion bool) {
+	if len(ep.stalledToVM) > 0 || !ep.pushToVM(e, completion) {
+		ep.stalledToVM = append(ep.stalledToVM, stalledOut{e, completion})
+		ep.kickNSM()
+	}
+}
+
+// discardQueue drains a queue the crashed module owned, returning any
+// huge-page data chunks carried by the discarded elements.
+func (ep *enginePair) discardQueue(q nkqueue.Q) {
+	var e nqe.Element
+	for q.Pop(&e) {
+		ep.freeChunk(&e)
+		ep.engine.stats.DiscardedElements++
+	}
+}
+
+// freeChunk returns an element's data chunk to the pair's pool. Chunk
+// ownership travels with the data direction: a VM-sourced OpSend job
+// owns its chunk until the NSM consumes it, and an NSM-sourced
+// OpNewData event owns its chunk until the guest copies it out. An
+// OpSend *completion* (NSM-sourced) echoes DataLen but its chunk was
+// already freed when the module consumed the data.
+func (ep *enginePair) freeChunk(e *nqe.Element) {
+	owns := (e.Op == nqe.OpSend && e.Source == nqe.FromVM) ||
+		(e.Op == nqe.OpNewData && e.Source == nqe.FromNSM)
+	if owns && e.DataLen > 0 {
+		ep.ch.Pages.Free(shm.Chunk{Offset: e.DataOff})
+	}
 }
 
 func (ep *enginePair) pushToVM(e nqe.Element, completion bool) bool {

@@ -51,6 +51,11 @@ type HostConfig struct {
 	// MaskBits is the on-link prefix length (default 8: one flat
 	// 10/8 fabric, everything on-link).
 	MaskBits int
+	// StallRecovery, when positive, arms retry timers in GuestLib and
+	// ServiceLib so fault-injected queue stalls can delay work but
+	// never wedge it. Zero (the default) keeps the pipeline purely
+	// kick-driven; only fault-injection harnesses set it.
+	StallRecovery time.Duration
 }
 
 // Host is one physical machine: NIC, overlay switch, cores, CoreEngine,
@@ -221,6 +226,12 @@ type NSM struct {
 	// Services are the per-VM ServiceLib pumps (one per multiplexed
 	// VM).
 	Services []*servicelib.ServiceLib
+	// Restarts counts crash-reboot cycles.
+	Restarts int
+
+	// attach binds a stack to the module's fixed network identity
+	// (MAC, IP, fabric port); restarts reuse it.
+	attach func(*stack.Stack)
 
 	host *Host
 }
@@ -248,15 +259,33 @@ func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU) stack.Config {
 // attachStack wires a stack to the fabric: a switch port normally, or
 // an SR-IOV virtual function for host bypass.
 func (h *Host) attachStack(s *stack.Stack, ip ipv4.Addr, sriov bool) {
+	h.makeAttachment(func() *stack.Stack { return s }, ip, sriov)(s)
+}
+
+// makeAttachment allocates a network identity (MAC, switch port or VF)
+// whose inbound side delivers to whatever stack current() returns at
+// frame-arrival time, and returns a function that attaches a stack to
+// that identity. NSM restarts reuse the attachment so the rebooted
+// stack keeps the module's MAC, IP, and fabric port.
+func (h *Host) makeAttachment(current func() *stack.Stack, ip ipv4.Addr, sriov bool) func(*stack.Stack) {
 	mac := ethernet.MAC(h.newMAC())
+	deliver := func(f []byte) {
+		if s := current(); s != nil {
+			s.DeliverFrame(f)
+		}
+	}
+	var tx func([]byte)
 	if sriov {
 		vf := h.NIC.AddVF(netsim.MAC(mac))
-		vf.SetHandler(s.DeliverFrame)
-		s.AttachInterface(mac, ip, ethernet.MTU, h.cfg.MaskBits, ipv4.Addr{}, vf.Send)
-		return
+		vf.SetHandler(deliver)
+		tx = vf.Send
+	} else {
+		port := h.Switch.AddPort(netsim.PortFunc(deliver))
+		tx = port.Deliver
 	}
-	port := h.Switch.AddPort(netsim.PortFunc(s.DeliverFrame))
-	s.AttachInterface(mac, ip, ethernet.MTU, h.cfg.MaskBits, ipv4.Addr{}, port.Deliver)
+	return func(s *stack.Stack) {
+		s.AttachInterface(mac, ip, ethernet.MTU, h.cfg.MaskBits, ipv4.Addr{}, tx)
+	}
 }
 
 // BootNSM provisions a Network Stack Module (normally done implicitly
@@ -286,9 +315,38 @@ func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
 		host:    h,
 	}
 	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu))
-	h.attachStack(n.Stack, ip, spec.SRIOV)
+	n.attach = h.makeAttachment(func() *stack.Stack { return n.Stack }, ip, spec.SRIOV)
+	n.attach(n.Stack)
 	h.nsms[n.ID] = n
 	return n
+}
+
+// RestartNSM models the module process crashing and rebooting. The
+// failure is abrupt: tenant pumps die silently, the stack is torn down
+// without emitting RST or FIN (the process is gone, nothing is on the
+// wire), and the CoreEngine discards in-flight channel work, releases
+// fd↔cID mappings, and notifies each guest with a reset completion.
+// After the form's boot time a fresh stack with the module's original
+// network identity (same MAC, IP, and fabric port) comes up and the
+// pumps rebind to it; connection IDs and fds stay monotonic across the
+// reboot so stale references cannot alias new connections.
+func (h *Host) RestartNSM(n *NSM) {
+	for _, svc := range n.Services {
+		svc.Crash()
+	}
+	n.Stack.Kill()
+	n.ReadyAt = h.clock.Now().Add(n.Profile.BootTime)
+	h.Engine.ResetNSM(n.ID, n.ReadyAt)
+	n.Restarts++
+	h.clock.AfterFunc(n.Profile.BootTime, func() {
+		fresh := stack.New(h.stackConfig(
+			fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, n.CC), n.CC, n.CPU))
+		n.attach(fresh)
+		n.Stack = fresh
+		for _, svc := range n.Services {
+			svc.Rebind(fresh)
+		}
+	})
 }
 
 // CreateVM provisions a tenant VM. In NetKernel mode the CoreEngine
@@ -352,13 +410,14 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 				shaper = sched.NewTokenBucket(h.clock, cfg.NSM.RateLimitBps/8, 0)
 			}
 			svc := servicelib.New(servicelib.Config{
-				Clock:      h.clock,
-				NSMID:      nsm.ID,
-				Pair:       pair,
-				Stack:      nsm.Stack,
-				CC:         nsm.CC,
-				Shaper:     shaper,
-				RecvWindow: h.cfg.ShmWindow,
+				Clock:         h.clock,
+				NSMID:         nsm.ID,
+				Pair:          pair,
+				Stack:         nsm.Stack,
+				CC:            nsm.CC,
+				Shaper:        shaper,
+				RecvWindow:    h.cfg.ShmWindow,
+				StallRecovery: h.cfg.StallRecovery,
 			})
 			nsm.Services = append(nsm.Services, svc)
 			if vm.Service == nil {
@@ -370,10 +429,11 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 			pairs = append(pairs, pair)
 		}
 		vm.Guest = guestlib.New(guestlib.Config{
-			Clock:      h.clock,
-			VMID:       vm.ID,
-			Pairs:      pairs,
-			SendCredit: credit,
+			Clock:         h.clock,
+			VMID:          vm.ID,
+			Pairs:         pairs,
+			SendCredit:    credit,
+			StallRecovery: h.cfg.StallRecovery,
 		})
 
 	default:

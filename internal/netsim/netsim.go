@@ -61,8 +61,15 @@ type LinkConfig struct {
 	Rate BitsPerSec
 	// Delay is the one-way propagation delay.
 	Delay time.Duration
-	// LossProb is a Bernoulli per-frame corruption probability.
+	// LossProb is a Bernoulli per-frame loss probability. It is the
+	// historical knob and keeps working unchanged; it is folded into
+	// Faults.LossProb at link construction unless Faults configures its
+	// own loss model.
 	LossProb float64
+	// Faults is the full deterministic fault model (bursty loss,
+	// duplication, corruption, reordering). The zero value injects
+	// nothing.
+	Faults FaultConfig
 	// QueueBytes bounds the drop-tail transmit queue. Zero means a
 	// generous default of one bandwidth-delay product (minimum 64 KB).
 	QueueBytes int
@@ -93,14 +100,22 @@ func (c LinkConfig) queueBytes() int {
 	return bdp
 }
 
-// LinkStats counts what a link did.
+// LinkStats counts what a link did. Every offered frame is accounted
+// for exactly once: Offered == TxFrames + LossDrops + QueueDrops +
+// DownDrops. Duplicates are extra deliveries on top of TxFrames.
 type LinkStats struct {
+	Offered    uint64 // frames handed to Send
 	TxFrames   uint64
 	TxBytes    uint64
-	LossDrops  uint64 // random (Bernoulli) corruption
+	LossDrops  uint64 // random loss (Bernoulli or Gilbert–Elliott)
 	QueueDrops uint64 // drop-tail overflow
+	DownDrops  uint64 // frames lost to a link flap/partition
 	ECNMarks   uint64
 	MaxQueue   int // high-water mark, bytes
+
+	DupFrames       uint64 // extra copies delivered beyond TxFrames
+	CorruptFrames   uint64 // frames delivered with a flipped bit
+	ReorderedFrames uint64 // frames delivered with extra jitter
 }
 
 // A Link is one unidirectional pipe: a drop-tail queue, a serializing
@@ -113,6 +128,7 @@ type Link struct {
 
 	busyUntil sim.Time
 	queued    int // bytes committed to the transmitter, not yet sent
+	down      bool
 	stats     LinkStats
 }
 
@@ -124,6 +140,13 @@ func NewLink(clock sim.Clock, rng *sim.RNG, cfg LinkConfig, dst Port) *Link {
 	}
 	if cfg.FrameOverhead < 0 {
 		cfg.FrameOverhead = 0
+	}
+	if cfg.LossProb > 0 && cfg.Faults.LossProb == 0 && cfg.Faults.GE == nil {
+		cfg.Faults.LossProb = cfg.LossProb
+	}
+	if cfg.Faults.GE != nil {
+		ge := *cfg.Faults.GE // each link owns its chain state
+		cfg.Faults.GE = &ge
 	}
 	return &Link{clock: clock, rng: rng, cfg: cfg, dst: dst}
 }
@@ -141,6 +164,7 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // the slice. Must be called from the clock's executor.
 func (l *Link) Send(frame []byte) {
 	wire := len(frame) + l.cfg.FrameOverhead
+	l.stats.Offered++
 	if l.queued+wire > l.cfg.queueBytes() {
 		l.stats.QueueDrops++
 		return
@@ -166,21 +190,49 @@ func (l *Link) Send(frame []byte) {
 	done := start.Add(tx)
 	l.busyUntil = done
 
-	lost := l.rng != nil && l.rng.Bernoulli(l.cfg.LossProb)
+	fate := l.drawFate(len(frame) * 8)
 	l.clock.AfterFunc(done.Sub(now), func() {
 		l.queued -= wire
-		if lost {
+		if l.down {
+			l.stats.DownDrops++
+			return
+		}
+		if fate.lost {
 			l.stats.LossDrops++
 			return
 		}
 		l.stats.TxFrames++
 		l.stats.TxBytes += uint64(wire)
-		if l.cfg.Delay > 0 {
-			l.clock.AfterFunc(l.cfg.Delay, func() { l.dst.Deliver(frame) })
-		} else {
-			l.dst.Deliver(frame)
+		var dup []byte
+		if fate.dup {
+			// Copy before any corruption: the duplicate models a clean
+			// retransmission of the same frame.
+			l.stats.DupFrames++
+			dup = append([]byte(nil), frame...)
 		}
+		if fate.corrupt {
+			frame[fate.bitIdx/8] ^= 1 << (fate.bitIdx % 8)
+			l.stats.CorruptFrames++
+		}
+		if fate.jitter > 0 {
+			l.stats.ReorderedFrames++
+		}
+		if dup != nil {
+			l.propagate(dup, 0)
+		}
+		l.propagate(frame, fate.jitter)
 	})
+}
+
+// propagate delivers a frame after the propagation delay plus any
+// reordering jitter.
+func (l *Link) propagate(frame []byte, jitter time.Duration) {
+	delay := l.cfg.Delay + jitter
+	if delay > 0 {
+		l.clock.AfterFunc(delay, func() { l.dst.Deliver(frame) })
+	} else {
+		l.dst.Deliver(frame)
+	}
 }
 
 // Deliver implements Port, so links can be chained behind switches.

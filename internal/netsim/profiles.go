@@ -34,6 +34,39 @@ func WANPath(lossProb float64) LinkConfig {
 	}
 }
 
+// WANPathGE is WANPath with bursty Gilbert–Elliott loss instead of
+// Bernoulli loss: mean burst length 1/pBadGood frames at lossBad, with
+// a clean good state. Each call returns a fresh chain, so the two
+// directions of a duplex path get independent burst processes.
+func WANPathGE(pGoodBad, pBadGood, lossBad float64) LinkConfig {
+	cfg := WANPath(0)
+	cfg.Faults.GE = &GilbertElliott{
+		PGoodBad: pGoodBad,
+		PBadGood: pBadGood,
+		LossBad:  lossBad,
+	}
+	return cfg
+}
+
+// LossyReorderLAN is a misbehaving 1 Gbit/s LAN segment: light random
+// loss plus duplication, bit corruption, and enough reordering jitter
+// to overtake back-to-back frames. The chaos suite's LAN profile.
+func LossyReorderLAN() LinkConfig {
+	return LinkConfig{
+		Rate:          1 * Gbps,
+		Delay:         50 * time.Microsecond,
+		QueueBytes:    512 << 10,
+		FrameOverhead: EthernetOverhead,
+		Faults: FaultConfig{
+			LossProb:      0.02,
+			DupProb:       0.02,
+			CorruptProb:   0.01,
+			ReorderProb:   0.10,
+			ReorderSpread: 2 * time.Millisecond,
+		},
+	}
+}
+
 // Duplex joins two ports with a symmetric pair of links and returns
 // both directions (a→b, b→a).
 func Duplex(clock sim.Clock, rng *sim.RNG, cfg LinkConfig, a, b Port) (ab, ba *Link) {

@@ -53,6 +53,11 @@ type Q interface {
 	Flush()
 	// Doorbell returns the queue's consumer-wakeup doorbell.
 	Doorbell() *shm.Doorbell
+	// SetPushStall installs a fault hook consulted once at the top of
+	// every Push/PushBatch/PushSpan call: when it returns true the call
+	// fails as if the queue were full, exercising the producers'
+	// backpressure paths. nil clears the hook.
+	SetPushStall(stall func() bool)
 }
 
 // Config shapes a queue set.
@@ -77,9 +82,15 @@ func (c Config) slots() int {
 
 // Queue is a plain single-ring queue of nqes.
 type Queue struct {
-	ring *shm.Ring
-	db   *shm.Doorbell
+	ring  *shm.Ring
+	db    *shm.Doorbell
+	stall func() bool
 }
+
+// SetPushStall implements Q.
+func (q *Queue) SetPushStall(stall func() bool) { q.stall = stall }
+
+func (q *Queue) stalled() bool { return q.stall != nil && q.stall() }
 
 // NewQueue builds a plain queue.
 func NewQueue(cfg Config) (*Queue, error) {
@@ -94,6 +105,9 @@ func NewQueue(cfg Config) (*Queue, error) {
 // intermediate buffer: the element is marshalled once, into shared
 // memory).
 func (q *Queue) Push(e *nqe.Element) bool {
+	if q.stalled() {
+		return false
+	}
 	slot, ok := q.ring.Reserve()
 	if !ok {
 		return false
@@ -119,6 +133,9 @@ func (q *Queue) Pop(e *nqe.Element) bool {
 // reserved once, filled by direct encoding, and published with one
 // atomic add; the doorbell rings once for the whole batch.
 func (q *Queue) PushBatch(es []nqe.Element) int {
+	if q.stalled() {
+		return 0
+	}
 	pushed := 0
 	for pushed < len(es) {
 		span, n := q.ring.ReserveN(len(es) - pushed)
@@ -166,6 +183,9 @@ func (q *Queue) ReleaseSpan(n int) { q.ring.ReleaseN(n) }
 // PushSpan implements Q: whole spans of raw slots transfer with a
 // single copy per contiguous run and one doorbell ring.
 func (q *Queue) PushSpan(span []byte) int {
+	if q.stalled() {
+		return 0
+	}
 	total := len(span) / nqe.Size
 	pushed := 0
 	for pushed < total {
@@ -233,10 +253,17 @@ func MoveBatch(dst, src *Queue, max int) int {
 type PriorityQueue struct {
 	hi, lo *Queue
 	db     *shm.Doorbell
+	stall  func() bool
 	// spanFrom remembers which ring the last FrontSpan came from, so
 	// ReleaseSpan frees the right slots. Consumer-side state only.
 	spanFrom *Queue
 }
+
+// SetPushStall implements Q. The hook gates pushes through the priority
+// queue itself; the internal rings are not separately stalled.
+func (p *PriorityQueue) SetPushStall(stall func() bool) { p.stall = stall }
+
+func (p *PriorityQueue) stalled() bool { return p.stall != nil && p.stall() }
 
 // NewPriorityQueue builds the pair; each ring gets cfg.Slots slots.
 func NewPriorityQueue(cfg Config) (*PriorityQueue, error) {
@@ -261,6 +288,9 @@ func NewPriorityQueue(cfg Config) (*PriorityQueue, error) {
 
 // Push routes by event class.
 func (p *PriorityQueue) Push(e *nqe.Element) bool {
+	if p.stalled() {
+		return false
+	}
 	if e.Op.IsConnEvent() {
 		return p.hi.Push(e)
 	}
@@ -271,6 +301,9 @@ func (p *PriorityQueue) Push(e *nqe.Element) bool {
 // at the first element that does not fit so arrival order within a ring
 // is never reordered; the shared doorbell rings once for the batch.
 func (p *PriorityQueue) PushBatch(es []nqe.Element) int {
+	if p.stalled() {
+		return 0
+	}
 	pushed := 0
 	for ; pushed < len(es); pushed++ {
 		e := &es[pushed]
@@ -328,6 +361,9 @@ func (p *PriorityQueue) ReleaseSpan(n int) {
 // lives in the op byte), but without any decode/encode: each 64-byte
 // record copies straight into its ring, and the doorbell rings once.
 func (p *PriorityQueue) PushSpan(span []byte) int {
+	if p.stalled() {
+		return 0
+	}
 	total := len(span) / nqe.Size
 	pushed := 0
 	for ; pushed < total; pushed++ {

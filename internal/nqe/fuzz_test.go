@@ -1,0 +1,52 @@
+package nqe
+
+import (
+	"testing"
+)
+
+// FuzzNqeDecode feeds arbitrary 64-byte records through the element
+// codec. Decode must accept any bytes without panicking, and
+// decode→encode→decode must be a fixed point: the second decode yields
+// exactly the first element (padding is canonicalized, every field
+// survives). Validate and String must be total on whatever comes out.
+func FuzzNqeDecode(f *testing.F) {
+	var seed Element
+	seed = Element{
+		Op: OpSend, Source: FromVM, VMID: 3, NSMID: 1, FD: 42, CID: 7,
+		Seq: 99, DataOff: 1 << 21, DataLen: 1460, Arg0: PackAddr([4]byte{10, 0, 0, 1}, 80),
+	}
+	buf := make([]byte, Size)
+	seed.Encode(buf)
+	f.Add(append([]byte{}, buf...))
+	seed = Element{Op: OpConnClosed, Source: FromNSM, CID: 9, Status: StatusConnReset}
+	seed.Encode(buf)
+	f.Add(append([]byte{}, buf...))
+	f.Add(make([]byte, Size))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) < Size {
+			return
+		}
+		var e Element
+		e.Decode(b)
+		out := make([]byte, Size)
+		e.Encode(out)
+		var e2 Element
+		e2.Decode(out)
+		if e != e2 {
+			t.Fatalf("decode/encode/decode diverged:\n  first  %+v\n  second %+v", e, e2)
+		}
+		_ = e.Validate()
+		_ = e.String()
+
+		// The Slot view over the encoded bytes must agree with the
+		// struct view field for field.
+		s := Slot(out)
+		if s.Op() != e.Op || s.VMID() != e.VMID || s.FD() != e.FD ||
+			s.CID() != e.CID || s.Seq() != e.Seq ||
+			s.DataOff() != e.DataOff || s.DataLen() != e.DataLen || s.Arg1() != e.Arg1 {
+			t.Fatalf("slot accessors disagree with decoded element %+v", e)
+		}
+		_ = s.Validate()
+	})
+}

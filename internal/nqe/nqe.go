@@ -304,6 +304,13 @@ func (s Slot) SetCID(v uint32) { binary.LittleEndian.PutUint32(s[offCID:], v) }
 // Seq returns the request/response correlation id.
 func (s Slot) Seq() uint64 { return binary.LittleEndian.Uint64(s[offSeq:]) }
 
+// DataOff returns the huge-page chunk offset of the slot's data
+// descriptor without a full decode.
+func (s Slot) DataOff() uint64 { return binary.LittleEndian.Uint64(s[offDataOff:]) }
+
+// DataLen returns the data descriptor's length without a full decode.
+func (s Slot) DataLen() uint32 { return binary.LittleEndian.Uint32(s[offDataLen:]) }
+
 // Arg1 returns the second operation argument.
 func (s Slot) Arg1() uint64 { return binary.LittleEndian.Uint64(s[offArg1:]) }
 

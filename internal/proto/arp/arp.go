@@ -175,6 +175,19 @@ func (c *Cache) armRetry(ip ipv4.Addr, p *pendingResolution) {
 	})
 }
 
+// Reset drops all entries and abandons in-flight resolutions, stopping
+// their retry timers and discarding their waiters. The owning stack
+// calls it on teardown so no resolution timer outlives the stack.
+func (c *Cache) Reset() {
+	for _, p := range c.pending {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	c.pending = make(map[ipv4.Addr]*pendingResolution)
+	c.entries = make(map[ipv4.Addr]cacheEntry)
+}
+
 // Pending returns the number of in-progress resolutions.
 func (c *Cache) Pending() int { return len(c.pending) }
 

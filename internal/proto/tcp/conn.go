@@ -420,6 +420,14 @@ func (c *Conn) Abort() {
 	c.teardown(fmt.Errorf("tcp: connection aborted"))
 }
 
+// Kill tears the connection down immediately and silently: no RST, no
+// FIN, no further transmission of any kind. It models the process (or
+// whole stack) hosting the connection dying; the peer discovers the
+// death through its own timers or the successor stack's RSTs.
+func (c *Conn) Kill(err error) {
+	c.teardown(err)
+}
+
 // teardown finalizes the connection and stops every timer.
 func (c *Conn) teardown(err error) {
 	if c.closed {

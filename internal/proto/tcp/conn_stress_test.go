@@ -250,3 +250,118 @@ func mustCC(t *testing.T, name string) tcpcc.Algorithm {
 	}
 	return cc
 }
+
+// redeliver re-injects a marshalled copy of a segment into the
+// receiving side after extra delay — the building block for reorder and
+// duplication profiles.
+func redeliver(n *testNet, dir string, h *Header, payload []byte, extra time.Duration) {
+	seg := h.Marshal(n.aAddr.Addr, n.bAddr.Addr, payload)
+	src, dst := n.aAddr, n.bAddr
+	if dir == "b→a" {
+		src, dst = n.bAddr, n.aAddr
+	}
+	n.loop.AfterFunc(n.delay+extra, func() {
+		into := n.b
+		if dir == "b→a" {
+			into = n.a
+		}
+		if hh, pl, err := Parse(src.Addr, dst.Addr, seg); err == nil && into != nil {
+			into.Input(&hh, pl, false)
+		}
+	})
+}
+
+// geChain is a two-state Gilbert–Elliott loss process: long clean
+// stretches punctuated by bursts that eat half the segments.
+type geChain struct {
+	rng *sim.RNG
+	bad bool
+}
+
+func (g *geChain) lose() bool {
+	if g.bad {
+		if g.rng.Bernoulli(0.25) {
+			g.bad = false
+		}
+	} else if g.rng.Bernoulli(0.02) {
+		g.bad = true
+	}
+	return g.bad && g.rng.Bernoulli(0.5)
+}
+
+// TestCloseCompletesUnderAdversity is the FIN-retransmission regression
+// guard: under heavy reordering, duplication, or bursty Gilbert–Elliott
+// loss, a transfer followed by Close on both sides must still drive
+// BOTH connections to StateClosed — a lost FIN has to be retransmitted
+// like any other segment, and TIME-WAIT must expire on the virtual
+// clock.
+func TestCloseCompletesUnderAdversity(t *testing.T) {
+	profiles := []struct {
+		name string
+		drop func(n *testNet, rng *sim.RNG) func(dir string, h *Header, payload []byte) bool
+	}{
+		{"reorder", func(n *testNet, rng *sim.RNG) func(string, *Header, []byte) bool {
+			return func(dir string, h *Header, payload []byte) bool {
+				if rng.Bernoulli(0.15) { // delay out of order
+					redeliver(n, dir, h, payload, time.Duration(1+rng.Intn(20))*time.Millisecond)
+					return true
+				}
+				return false
+			}
+		}},
+		{"duplicate", func(n *testNet, rng *sim.RNG) func(string, *Header, []byte) bool {
+			return func(dir string, h *Header, payload []byte) bool {
+				if rng.Bernoulli(0.10) { // deliver original AND a copy
+					redeliver(n, dir, h, payload, n.delay)
+				}
+				return false
+			}
+		}},
+		{"gilbert-elliott", func(n *testNet, rng *sim.RNG) func(string, *Header, []byte) bool {
+			ab, ba := &geChain{rng: rng}, &geChain{rng: rng}
+			return func(dir string, h *Header, payload []byte) bool {
+				if dir == "a→b" {
+					return ab.lose()
+				}
+				return ba.lose()
+			}
+		}},
+	}
+	for _, p := range profiles {
+		p := p
+		for seed := uint64(1); seed <= 4; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", p.name, seed), func(t *testing.T) {
+				n := newTestNet(t)
+				rng := sim.NewRNG(seed)
+				n.drop = p.drop(n, rng)
+				n.dialPair("cubic", "cubic", func(cfg *Config, side string) {
+					cfg.MinRTO = 50 * time.Millisecond
+					cfg.MSL = 200 * time.Millisecond
+				})
+				n.loop.RunFor(3 * time.Second)
+				if n.a == nil || n.a.State() != StateEstablished {
+					t.Skipf("handshake lost to adversity (seed %d)", seed)
+				}
+
+				payload := make([]byte, 64<<10)
+				prng := sim.NewRNG(seed * 131)
+				for i := range payload {
+					payload[i] = byte(prng.Uint64())
+				}
+				got := n.transfer(n.a, n.b, payload, 60*time.Second)
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("transferred %d of %d, or corrupted", len(got), len(payload))
+				}
+
+				n.a.Close()
+				n.b.Close()
+				n.loop.RunFor(60 * time.Second)
+				if n.a.State() != StateClosed || n.b.State() != StateClosed {
+					t.Fatalf("close never completed under %s: a=%v b=%v",
+						p.name, n.a.State(), n.b.State())
+				}
+			})
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package servicelib
 
 import (
+	"sort"
 	"strings"
 	"time"
 
@@ -49,6 +50,12 @@ type Config struct {
 	// batched interrupts in §3.2 and keeps the per-event overhead off
 	// the bulk datapath. Default 5 µs; negative disables coalescing.
 	CoalesceDelay time.Duration
+	// StallRecovery, when positive, arms a virtual-time retry timer
+	// whenever an emission finds its output ring full or fault-stalled.
+	// The production pipeline is purely kick-driven and leaves this
+	// zero; fault-injection harnesses set it so an injected stall can
+	// delay emissions but never wedge the module.
+	StallRecovery time.Duration
 }
 
 // Stats counts ServiceLib activity.
@@ -98,6 +105,11 @@ type ServiceLib struct {
 	// spans at a time instead of element by element (§3.2 "batched
 	// interrupts").
 	drain []nqe.Element
+	// dead marks a crashed module: pumps and emissions are no-ops until
+	// Rebind attaches a replacement stack.
+	dead bool
+	// retryArmed guards the Config.StallRecovery retry timer.
+	retryArmed bool
 }
 
 type stalledEmit struct {
@@ -133,6 +145,9 @@ func (s *ServiceLib) Stats() Stats { return s.stats }
 func (s *ServiceLib) CC() string { return s.cfg.CC }
 
 func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
+	if s.dead {
+		return
+	}
 	e.NSMID = s.cfg.NSMID
 	e.Source = nqe.FromNSM
 	target := s.cfg.Pair.NSMReceive
@@ -141,10 +156,38 @@ func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
 	}
 	if len(s.overflow) > 0 || !target.Push(e) {
 		s.overflow = append(s.overflow, stalledEmit{kind: q, e: *e})
+		s.noteOverflow()
 	}
 	if s.cfg.Pair.KickEngineNSM != nil {
 		s.cfg.Pair.KickEngineNSM()
 	}
+}
+
+// noteOverflow arms the overflow retry timer. A no-op unless
+// Config.StallRecovery is set: the engine's drain pump re-kicks the
+// module when it frees ring space, but an injected fault can fail a
+// push with space available and nothing inbound due — the timer keeps
+// the module making progress regardless.
+func (s *ServiceLib) noteOverflow() {
+	if s.cfg.StallRecovery <= 0 || s.retryArmed {
+		return
+	}
+	s.retryArmed = true
+	s.cfg.Clock.AfterFunc(s.cfg.StallRecovery, func() {
+		s.retryArmed = false
+		if s.dead {
+			return
+		}
+		s.flushOverflow()
+		s.cfg.Pair.NSMCompletion.Flush()
+		s.cfg.Pair.NSMReceive.Flush()
+		if len(s.overflow) > 0 {
+			s.noteOverflow()
+		}
+		if s.cfg.Pair.KickEngineNSM != nil {
+			s.cfg.Pair.KickEngineNSM()
+		}
+	})
 }
 
 // flushOverflow retries stalled emissions in order.
@@ -167,6 +210,9 @@ func (s *ServiceLib) flushOverflow() {
 // from GuestLib via NetKernel CoreEngine" (§4.1) — under the event
 // executor a kick-driven drain is the batched-interrupt variant.
 func (s *ServiceLib) pump() {
+	if s.dead {
+		return
+	}
 	s.flushOverflow()
 	for {
 		n := s.cfg.Pair.NSMJob.PopBatch(s.drain)
@@ -179,8 +225,11 @@ func (s *ServiceLib) pump() {
 		}
 	}
 	s.flushOverflow()
-	if len(s.overflow) > 0 && s.cfg.Pair.KickEngineNSM != nil {
-		s.cfg.Pair.KickEngineNSM()
+	if len(s.overflow) > 0 {
+		s.noteOverflow()
+		if s.cfg.Pair.KickEngineNSM != nil {
+			s.cfg.Pair.KickEngineNSM()
+		}
 	}
 	// The pump produced completions and events; deliver any partial
 	// doorbell batch before going idle.
@@ -264,11 +313,17 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 		if cs := s.conns[e.CID]; cs != nil && cs.udp != nil {
 			cs.udp.Close()
 			delete(s.conns, e.CID)
+			// UDP has no close handshake: confirm immediately so the
+			// engine retires the fd↔cID mapping instead of leaking it.
+			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
 		} else if cs != nil && cs.conn != nil {
 			cs.conn.Close()
 		} else if ls := s.listeners[e.CID]; ls != nil {
 			s.cfg.Stack.CloseListener(ls.lst.Addr().Port)
 			delete(s.listeners, e.CID)
+			// Same for listeners: no TCP teardown will ever report this
+			// cID closed, so the mapping must be retired here.
+			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
 		}
 	}
 }
@@ -507,6 +562,50 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 	}
 	cs.sendQ = nil
 	delete(s.conns, cid)
+}
+
+// Crash models the module process dying: all per-connection state
+// vanishes, queued send chunks and overflowed data events return to the
+// huge-page pool (the pages belong to the hypervisor, not the module),
+// and every subsequent pump, emission, or stray stack callback is a
+// no-op until Rebind. The caller is responsible for killing the
+// module's stack and resetting the CoreEngine's tables.
+func (s *ServiceLib) Crash() {
+	s.dead = true
+	cids := make([]uint32, 0, len(s.conns))
+	for cid := range s.conns {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		cs := s.conns[cid]
+		for _, c := range cs.sendQ {
+			s.cfg.Pair.Pages.Free(c.chunk)
+		}
+		cs.sendQ = nil
+		// Detach the sockets so timers still in flight (shaper retries,
+		// coalescing flushes) find nothing to drive.
+		cs.conn = nil
+		cs.udp = nil
+	}
+	for _, se := range s.overflow {
+		if se.e.Op == nqe.OpNewData && se.e.DataLen > 0 {
+			s.cfg.Pair.Pages.Free(shm.Chunk{Offset: se.e.DataOff})
+		}
+	}
+	s.overflow = nil
+	s.conns = make(map[uint32]*connState)
+	s.listeners = make(map[uint32]*listenerState)
+}
+
+// Rebind attaches a rebooted module's fresh stack and resumes pumping,
+// draining any jobs that queued up during the outage. Connection IDs
+// stay monotonic across the restart, so stale references from before
+// the crash can never collide with new connections.
+func (s *ServiceLib) Rebind(st *stack.Stack) {
+	s.cfg.Stack = st
+	s.dead = false
+	s.pump()
 }
 
 // statusFromErr maps stack errors onto the nqe status space carried

@@ -3,6 +3,8 @@ package shm
 import (
 	"sync/atomic"
 	"time"
+
+	"netkernel/internal/sim"
 )
 
 // NotifyMode selects how one side of a queue pair learns that the other
@@ -41,6 +43,60 @@ type Doorbell struct {
 	batch   int32
 	pending atomic.Int32
 	ch      chan struct{}
+
+	faults *doorbellFaults
+	stats  doorbellCounters
+}
+
+// doorbellFaults injects wakeup-path failures for the chaos suite:
+// drop decides whether a due wakeup is swallowed, delay defers its
+// delivery on the given clock. Installed once before use; the hooks are
+// consulted from whatever context rings the doorbell.
+type doorbellFaults struct {
+	drop  func() bool
+	delay func() time.Duration
+	clock sim.Clock
+}
+
+type doorbellCounters struct {
+	rings, wakeups, dropped, delayed atomic.Uint64
+}
+
+// DoorbellStats is a snapshot of a doorbell's wakeup accounting.
+type DoorbellStats struct {
+	// Rings counts ring units recorded (Ring contributes 1, RingN n).
+	Rings uint64
+	// Wakeups counts wakeups actually delivered to the consumer channel.
+	Wakeups uint64
+	// DroppedWakeups counts due wakeups swallowed by the drop fault.
+	// Pending ring units survive a drop, so a later Ring or Flush
+	// retries the wakeup — recovery is level-triggered.
+	DroppedWakeups uint64
+	// DelayedWakeups counts wakeups deferred by the delay fault.
+	DelayedWakeups uint64
+}
+
+// SetWakeupFaults installs fault hooks on the wakeup path. drop, when
+// non-nil and returning true, swallows a due wakeup without clearing
+// the pending count. delay, when non-nil and returning > 0, defers the
+// wakeup by that duration on clock. Call before the doorbell is shared
+// between goroutines.
+func (d *Doorbell) SetWakeupFaults(drop func() bool, delay func() time.Duration, clock sim.Clock) {
+	if drop == nil && delay == nil {
+		d.faults = nil
+		return
+	}
+	d.faults = &doorbellFaults{drop: drop, delay: delay, clock: clock}
+}
+
+// Stats returns a snapshot of the doorbell's wakeup accounting.
+func (d *Doorbell) Stats() DoorbellStats {
+	return DoorbellStats{
+		Rings:          d.stats.rings.Load(),
+		Wakeups:        d.stats.wakeups.Load(),
+		DroppedWakeups: d.stats.dropped.Load(),
+		DelayedWakeups: d.stats.delayed.Load(),
+	}
 }
 
 // NewDoorbell builds a doorbell. batch is the interrupt coalescing factor
@@ -61,6 +117,7 @@ func (d *Doorbell) Ring() {
 	if d.mode == Polling {
 		return // consumer is spinning; nothing to signal
 	}
+	d.stats.rings.Add(1)
 	if d.pending.Add(1) >= d.batch {
 		d.fire()
 	}
@@ -75,6 +132,7 @@ func (d *Doorbell) RingN(n int) {
 	if d.mode == Polling || n <= 0 {
 		return
 	}
+	d.stats.rings.Add(uint64(n))
 	if d.pending.Add(int32(n)) >= d.batch {
 		d.fire()
 	}
@@ -92,7 +150,31 @@ func (d *Doorbell) Flush() {
 }
 
 func (d *Doorbell) fire() {
+	if f := d.faults; f != nil {
+		if f.drop != nil && f.drop() {
+			// Swallow the wakeup but keep the pending count: the next
+			// Ring or Flush re-fires, so a lost doorbell delays the
+			// consumer rather than wedging it.
+			d.stats.dropped.Add(1)
+			return
+		}
+		d.pending.Store(0)
+		if f.delay != nil {
+			if dl := f.delay(); dl > 0 {
+				d.stats.delayed.Add(1)
+				f.clock.AfterFunc(dl, d.wake)
+				return
+			}
+		}
+		d.wake()
+		return
+	}
 	d.pending.Store(0)
+	d.wake()
+}
+
+func (d *Doorbell) wake() {
+	d.stats.wakeups.Add(1)
 	select {
 	case d.ch <- struct{}{}:
 	default: // a wakeup is already pending; coalesce

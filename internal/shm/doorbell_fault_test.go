@@ -1,0 +1,128 @@
+package shm
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/sim"
+)
+
+// TestDoorbellDropIsLevelTriggered: a dropped wakeup must not wedge the
+// consumer. The pending ring count survives the drop, so the next ring
+// that reaches the batch threshold re-fires and delivers the wakeup.
+func TestDoorbellDropIsLevelTriggered(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 4)
+	dropNext := true
+	d.SetWakeupFaults(func() bool {
+		was := dropNext
+		dropNext = false
+		return was
+	}, nil, nil)
+
+	for i := 0; i < 4; i++ {
+		d.Ring()
+	}
+	if d.Wait(10 * time.Millisecond) {
+		t.Fatal("dropped wakeup was delivered anyway")
+	}
+	d.Ring() // pending is 5 ≥ batch: re-fires, drop is spent
+	if !d.Wait(time.Second) {
+		t.Fatal("doorbell wedged after a dropped wakeup")
+	}
+	st := d.Stats()
+	if st.Rings != 5 || st.Wakeups != 1 || st.DroppedWakeups != 1 {
+		t.Fatalf("stats after drop+recover: %+v", st)
+	}
+}
+
+// TestDoorbellFlushRecoversDroppedWakeup: Flush is the producer's
+// going-idle signal and must also re-fire a previously dropped wakeup.
+func TestDoorbellFlushRecoversDroppedWakeup(t *testing.T) {
+	d := NewDoorbell(BatchedInterrupt, 2)
+	drops := 1
+	d.SetWakeupFaults(func() bool {
+		if drops > 0 {
+			drops--
+			return true
+		}
+		return false
+	}, nil, nil)
+
+	d.RingN(2)
+	if d.Wait(10 * time.Millisecond) {
+		t.Fatal("dropped wakeup was delivered anyway")
+	}
+	d.Flush()
+	if !d.Wait(time.Second) {
+		t.Fatal("Flush did not recover the dropped wakeup")
+	}
+}
+
+// TestDoorbellDelayedWakeup: a delayed wakeup arrives exactly after the
+// injected latency on the virtual clock, and still coalesces.
+func TestDoorbellDelayedWakeup(t *testing.T) {
+	loop := sim.NewLoop()
+	d := NewDoorbell(BatchedInterrupt, 1)
+	d.SetWakeupFaults(nil, func() time.Duration { return time.Millisecond }, loop)
+
+	d.Ring()
+	if d.Wait(5 * time.Millisecond) {
+		t.Fatal("wakeup arrived before the injected delay elapsed")
+	}
+	loop.RunFor(time.Millisecond)
+	if !d.Wait(time.Second) {
+		t.Fatal("delayed wakeup never arrived")
+	}
+	st := d.Stats()
+	if st.DelayedWakeups != 1 || st.Wakeups != 1 {
+		t.Fatalf("stats after delayed wakeup: %+v", st)
+	}
+}
+
+// TestDoorbellCoalescingUnderLoss drives ring/flush schedules against
+// scripted drop patterns and checks the wakeup accounting: every due
+// wakeup is either delivered or counted dropped, and a final flush
+// always recovers — under any loss pattern the consumer eventually
+// wakes as long as work is pending.
+func TestDoorbellCoalescingUnderLoss(t *testing.T) {
+	cases := []struct {
+		name     string
+		batch    int
+		rings    int
+		drops    []bool // consumed per fire attempt
+		wakeups  uint64
+		dropped  uint64
+		recovers bool // a trailing Flush must deliver the stranded batch
+	}{
+		{name: "no-loss", batch: 2, rings: 4, drops: nil, wakeups: 2, dropped: 0},
+		{name: "drop-first", batch: 2, rings: 4, drops: []bool{true}, wakeups: 1, dropped: 1, recovers: true},
+		{name: "drop-every-fire", batch: 1, rings: 3, drops: []bool{true, true, true}, wakeups: 0, dropped: 3, recovers: true},
+		{name: "drop-middle", batch: 1, rings: 3, drops: []bool{false, true, false}, wakeups: 2, dropped: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDoorbell(BatchedInterrupt, tc.batch)
+			i := 0
+			d.SetWakeupFaults(func() bool {
+				if i < len(tc.drops) {
+					i++
+					return tc.drops[i-1]
+				}
+				return false
+			}, nil, nil)
+			for r := 0; r < tc.rings; r++ {
+				d.Ring()
+			}
+			st := d.Stats()
+			if st.Wakeups != tc.wakeups || st.DroppedWakeups != tc.dropped {
+				t.Fatalf("wakeups %d dropped %d, want %d/%d", st.Wakeups, st.DroppedWakeups, tc.wakeups, tc.dropped)
+			}
+			if tc.recovers {
+				d.Flush()
+				if !d.Wait(time.Second) {
+					t.Fatal("flush failed to recover the stranded wakeup")
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ package stack
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"netkernel/internal/netsim"
@@ -73,6 +74,7 @@ type Stats struct {
 	DroppedNoRoute        uint64
 	DroppedBadPacket      uint64
 	DroppedNoSocket       uint64
+	DroppedDead           uint64 // frames arriving after Kill
 	ARPRequests, ARPReply uint64
 }
 
@@ -98,6 +100,9 @@ type Stack struct {
 
 	flowCore map[uint32]int // RoundRobinCores assignment table
 	nextCore int
+	// dead marks a killed stack (its host NSM crashed): arriving frames
+	// are dropped, nothing is ever transmitted again.
+	dead bool
 }
 
 type listenEntry struct {
@@ -216,6 +221,10 @@ func (s *Stack) nextHop(dst ipv4.Addr) (ipv4.Addr, error) {
 // NIC/VF handler. Processing is charged to the configured CPU.
 func (s *Stack) DeliverFrame(frame []byte) {
 	s.stats.FramesIn++
+	if s.dead {
+		s.stats.DroppedDead++
+		return
+	}
 	if s.cfg.CPU == nil || s.cfg.PerPacketCost <= 0 {
 		s.processFrame(frame)
 		return
@@ -331,6 +340,9 @@ func (s *Stack) processIPv4(pkt []byte) {
 
 // sendEthernet frames and transmits a payload to a resolved MAC.
 func (s *Stack) sendEthernet(dst ethernet.MAC, typ ethernet.EtherType, payload []byte) {
+	if s.dead {
+		return // a crashed stack transmits nothing
+	}
 	frame := make([]byte, ethernet.HeaderLen+len(payload))
 	eh := ethernet.Header{Dst: dst, Src: s.iface.MAC, Type: typ}
 	eh.Marshal(frame)
@@ -390,6 +402,70 @@ func (s *Stack) sendARPRequest(target ipv4.Addr) {
 		TargetIP:  target,
 	}
 	s.sendEthernet(ethernet.Broadcast, ethernet.TypeARP, marshalARP(&req))
+}
+
+// Kill models the stack's host process crashing: every connection is
+// torn down silently (no FIN, no RST — a dead process transmits
+// nothing), listeners, UDP sockets, and pending pings vanish, ARP
+// resolution timers stop, and any frame still in flight toward the
+// stack is dropped on arrival. Peers learn of the crash through their
+// own retransmission timers or from the successor stack's RSTs.
+func (s *Stack) Kill() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	err := fmt.Errorf("stack %s: killed", s.cfg.Name)
+	// Collect before tearing down: each Kill fires the conn's owner
+	// hook, which deletes from s.conns. Sorted for determinism.
+	keys := make([]fourTuple, 0, len(s.conns))
+	for k := range s.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessTuple(keys[i], keys[j]) })
+	for _, k := range keys {
+		if c := s.conns[k]; c != nil {
+			c.Kill(err)
+		}
+	}
+	s.conns = make(map[fourTuple]*tcp.Conn)
+	s.listeners = make(map[uint16]*listenEntry)
+	s.udpSocks = make(map[uint16]*UDPSocket)
+	for _, w := range s.pings {
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+	}
+	s.pings = make(map[uint32]*pingWaiter)
+	s.arpCache.Reset()
+}
+
+// Dead reports whether Kill has been called.
+func (s *Stack) Dead() bool { return s.dead }
+
+// ListenerCount returns the number of open listeners.
+func (s *Stack) ListenerCount() int { return len(s.listeners) }
+
+func lessTuple(a, b fourTuple) bool {
+	if a.localIP != b.localIP {
+		return ipLess(a.localIP, b.localIP)
+	}
+	if a.localPort != b.localPort {
+		return a.localPort < b.localPort
+	}
+	if a.remoteIP != b.remoteIP {
+		return ipLess(a.remoteIP, b.remoteIP)
+	}
+	return a.remotePort < b.remotePort
+}
+
+func ipLess(a, b ipv4.Addr) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // ccByName builds a congestion-control instance, falling back to the

@@ -44,11 +44,21 @@ type Config struct {
 	AgingTime time.Duration
 }
 
-// Stats counts switch activity.
+// Stats counts switch activity. Every frame entering the switch is
+// accounted exactly once: RxFrames == Forwarded + Flooded + Dropped.
 type Stats struct {
+	// RxFrames counts frames entering the switch from any port.
+	RxFrames  uint64
 	Forwarded uint64
 	Flooded   uint64
-	Learned   uint64
+	// Dropped counts frames discarded without forwarding: runts
+	// shorter than an Ethernet header, and frames whose learned
+	// destination is the ingress port itself (hairpin suppression).
+	Dropped uint64
+	Learned uint64
+	// AgedOut counts FDB entries evicted because a lookup found them
+	// expired.
+	AgedOut uint64
 }
 
 // Switch is a MAC-learning switch.
@@ -105,7 +115,9 @@ func (s *Switch) Ports() int { return len(s.ports) }
 // port's device.
 func (p *Port) Deliver(frame []byte) {
 	sw := p.sw
+	sw.stats.RxFrames++
 	if len(frame) < 12 {
+		sw.stats.Dropped++
 		return
 	}
 	var dst, src netsim.MAC
@@ -121,12 +133,19 @@ func (p *Port) Deliver(frame []byte) {
 	}
 
 	forward := func() {
-		if e, ok := sw.fdb[dst]; ok && !dst.IsBroadcast() && sw.clock.Now() < e.expires {
-			if e.port != p {
-				sw.stats.Forwarded++
-				e.port.out.Deliver(frame)
+		if e, ok := sw.fdb[dst]; ok && !dst.IsBroadcast() {
+			if sw.clock.Now() < e.expires {
+				if e.port != p {
+					sw.stats.Forwarded++
+					e.port.out.Deliver(frame)
+				} else {
+					sw.stats.Dropped++ // hairpin: destination is the ingress port
+				}
+				return
 			}
-			return
+			// Expired entry: evict it and fall through to flooding.
+			sw.stats.AgedOut++
+			delete(sw.fdb, dst)
 		}
 		// Unknown or broadcast: flood to every other port.
 		sw.stats.Flooded++

@@ -141,3 +141,67 @@ func TestModeString(t *testing.T) {
 		t.Fatal("Mode String broken")
 	}
 }
+
+// TestStatsConservation exercises every accounting path — unicast,
+// flood, runt drop, hairpin drop, aged-out eviction — and checks the
+// conservation law the chaos suite relies on:
+// RxFrames == Forwarded + Flooded + Dropped.
+func TestStatsConservation(t *testing.T) {
+	loop := sim.NewLoop()
+	sw := New(loop, Config{Mode: Embedded, AgingTime: time.Second})
+	sinks := []*sink{{}, {}, {}}
+	var ports []*Port
+	for _, s := range sinks {
+		ports = append(ports, sw.AddPort(s))
+	}
+
+	ports[0].Deliver(frameFromTo(macA, macB)) // unknown dst: flood, learn A
+	ports[1].Deliver(frameFromTo(macB, macA)) // known dst: unicast, learn B
+	ports[0].Deliver(make([]byte, 5))         // runt: dropped
+	ports[0].Deliver(frameFromTo(macC, macA)) // hairpin: A is on port 0, dropped
+	loop.Run()
+
+	st := sw.Stats()
+	if st.RxFrames != 4 || st.Forwarded != 1 || st.Flooded != 1 || st.Dropped != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.RxFrames != st.Forwarded+st.Flooded+st.Dropped {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if st.AgedOut != 0 {
+		t.Fatalf("nothing expired yet: %+v", st)
+	}
+
+	// Let the FDB expire, then address the stale entry: the lookup must
+	// evict it (AgedOut) and fall back to flooding.
+	loop.RunFor(2 * time.Second)
+	ports[1].Deliver(frameFromTo(macB, macA))
+	loop.Run()
+	st = sw.Stats()
+	if st.AgedOut != 1 {
+		t.Fatalf("expired entry not evicted: %+v", st)
+	}
+	if st.Flooded != 2 {
+		t.Fatalf("stale unicast entry was trusted: %+v", st)
+	}
+	if st.RxFrames != st.Forwarded+st.Flooded+st.Dropped {
+		t.Fatalf("conservation violated after aging: %+v", st)
+	}
+}
+
+// TestBroadcastNeverLearnedAsDestination: the broadcast address must
+// never enter the FDB as a forwarding target, even though frames sourced
+// from it would be absurd — a broadcast destination always floods.
+func TestBroadcastNeverLearnedAsDestination(t *testing.T) {
+	loop, sw, sinks, ports := build(Embedded)
+	ports[0].Deliver(frameFromTo(macA, netsim.Broadcast))
+	ports[1].Deliver(frameFromTo(macB, netsim.Broadcast))
+	loop.Run()
+	// Both broadcasts flood to the two other ports each.
+	if len(sinks[2].frames) != 2 {
+		t.Fatalf("broadcasts not flooded: %d", len(sinks[2].frames))
+	}
+	if sw.Stats().Flooded != 2 || sw.Stats().Forwarded != 0 {
+		t.Fatalf("broadcast handled as unicast: %+v", sw.Stats())
+	}
+}
