@@ -210,6 +210,28 @@ func BenchmarkFigure4(b *testing.B) {
 	}
 }
 
+// --- DESIGN.md §8: streaming-echo copy budget (virtual time) ---
+
+// BenchmarkEchoThroughput runs the bidirectional echo between two
+// NetKernel VMs and reports goodput plus the per-direction
+// copies-per-byte from the layer memcpy counters. bytes/op counts the
+// payload the client got back per run; BENCH_echo.json records the
+// trajectory across PRs.
+func BenchmarkEchoThroughput(b *testing.B) {
+	var echoed uint64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCopyBudget(experiments.CopyBudgetConfig{
+			Warmup: 100 * time.Millisecond,
+			Window: 100 * time.Millisecond,
+		})
+		echoed += res.BytesEchoed
+		b.ReportMetric(res.GoodputBps/1e9, "echo-Gbps")
+		b.ReportMetric(res.TxCopiesPerByte, "tx-copies/B")
+		b.ReportMetric(res.RxCopiesPerByte, "rx-copies/B")
+	}
+	b.SetBytes(int64(echoed / uint64(b.N)))
+}
+
 // --- Figure 5: the WAN flexibility experiment (virtual time) ---
 
 func BenchmarkFigure5(b *testing.B) {

@@ -90,6 +90,21 @@ func micro() {
 	for _, r := range rows {
 		fmt.Printf("  %-8s %8.2f Gbit/s\n", byteSize(r.ChunkBytes), r.BitsPerSec/1e9)
 	}
+
+	cb := experiments.CopyBudgetConfig{Seed: *seed}
+	if *quick {
+		cb.Warmup = 100 * time.Millisecond
+		cb.Window = 100 * time.Millisecond
+	}
+	res := experiments.RunCopyBudget(cb)
+	fmt.Printf("streaming-echo copy budget (DESIGN.md §8, budget ≤2 copies/byte per direction):\n")
+	fmt.Printf("  %-8s %8.2f Gbit/s\n", "goodput", res.GoodputBps/1e9)
+	fmt.Printf("  %-8s %8.3f copies/B  (guest %d + service %d + tcp %d copied of %d payload B)\n",
+		"send", res.TxCopiesPerByte,
+		res.Report.GuestTxCopied, res.Report.ServiceTxCopied, res.Report.TCPTxCopied, res.Report.PayloadTx)
+	fmt.Printf("  %-8s %8.3f copies/B  (guest %d + service %d + tcp %d copied of %d payload B)\n",
+		"recv", res.RxCopiesPerByte,
+		res.Report.GuestRxCopied, res.Report.ServiceRxCopied, res.Report.TCPRxCopied, res.Report.PayloadRx)
 }
 
 func fig4() {

@@ -546,6 +546,13 @@ func (h *harness) checkPools(t *testing.T) {
 				t.Errorf("[seed %d] %s pair %d leaked chunks: %d free of %d",
 					h.seed, vm.Name, i, pair.Pages.FreeCount(), pair.Pages.Chunks())
 			}
+			// With the refcounted span datapath a chunk can leak by
+			// reference too: every Retain must be matched even when the
+			// final Free happens on conn teardown or NSM crash.
+			if n := pair.Pages.LiveRefs(); n != 0 {
+				t.Errorf("[seed %d] %s pair %d has %d live chunk refs after quiesce",
+					h.seed, vm.Name, i, n)
+			}
 		}
 	}
 	for name, host := range map[string]*hypervisor.Host{"h1": h.h1, "h2": h.h2} {

@@ -230,3 +230,34 @@ func TestScaleOutAblationShape(t *testing.T) {
 		t.Errorf("3 replicas (%.1fG) did not meaningfully scale past 1 (%.1fG)", three/1e9, one/1e9)
 	}
 }
+
+// TestCopyBudgetGate is the data-path copy-budget regression gate
+// (DESIGN.md §8): the streaming echo must cost at most 1 copy per
+// payload byte on send and 2 on receive, with 2.5 as the CI ceiling to
+// absorb the copy fallbacks (out-of-order bytes staged in rcvBuf,
+// oversized writes). CI's bench-smoke job runs exactly this test.
+func TestCopyBudgetGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copy-budget echo takes ~30s")
+	}
+	res := RunCopyBudget(CopyBudgetConfig{
+		Warmup: 100 * time.Millisecond,
+		Window: 100 * time.Millisecond,
+	})
+	t.Logf("echoed=%dMB goodput=%.2fG tx=%.3f copies/B rx=%.3f copies/B",
+		res.BytesEchoed>>20, res.GoodputBps/1e9, res.TxCopiesPerByte, res.RxCopiesPerByte)
+	t.Logf("layers: guest tx=%d/rx=%d service tx=%d/rx=%d tcp tx=%d/rx=%d payload tx=%d/rx=%d",
+		res.Report.GuestTxCopied, res.Report.GuestRxCopied,
+		res.Report.ServiceTxCopied, res.Report.ServiceRxCopied,
+		res.Report.TCPTxCopied, res.Report.TCPRxCopied,
+		res.Report.PayloadTx, res.Report.PayloadRx)
+	if res.BytesEchoed == 0 {
+		t.Fatal("echo flow moved no bytes")
+	}
+	if res.TxCopiesPerByte > 2.5 {
+		t.Errorf("send path copies/byte %.3f exceeds the 2.5 budget", res.TxCopiesPerByte)
+	}
+	if res.RxCopiesPerByte > 2.5 {
+		t.Errorf("receive path copies/byte %.3f exceeds the 2.5 budget", res.RxCopiesPerByte)
+	}
+}

@@ -96,6 +96,12 @@ type Stats struct {
 	BytesSent     uint64
 	BytesReceived uint64
 	CreditStalls  uint64
+	// TxBytesCopied and RxBytesCopied count payload bytes this layer
+	// memcpy'd: application buffer → huge-page chunk on send, chunk →
+	// application buffer on receive. One copy per byte per direction —
+	// the socket-API boundary copies that cannot be elided.
+	TxBytesCopied uint64
+	RxBytesCopied uint64
 }
 
 type sockKind int
@@ -141,8 +147,11 @@ type socket struct {
 	// still close to release the NSM connection).
 	closeSent bool
 
-	// Receive side: chunks copied out of the huge pages, in order.
-	recvQ    [][]byte
+	// Receive side: huge-page chunks still owned by this socket, in
+	// order. Recv copies straight from the chunk into the caller's
+	// buffer and frees each chunk as it is fully consumed — the old
+	// intermediate copy into a per-event []byte is gone.
+	recvQ    []recvSeg
 	recvOff  int
 	eof      bool
 	closeErr error
@@ -156,6 +165,14 @@ type datagram struct {
 	src  ipv4.Addr
 	port uint16
 	data []byte
+}
+
+// recvSeg is one received chunk awaiting Recv: the socket holds the
+// huge-page reference until the application consumes the bytes (or the
+// socket closes).
+type recvSeg struct {
+	chunk shm.Chunk
+	size  int
 }
 
 // GuestLib is one tenant VM's NetKernel endpoint.
@@ -343,6 +360,7 @@ func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte)
 		return fmt.Errorf("guestlib: huge pages exhausted")
 	}
 	s.pair.Pages.Write(chunk, payload)
+	g.stats.TxBytesCopied += uint64(len(payload))
 	e := &nqe.Element{
 		Op: nqe.OpSend, FD: fd,
 		DataOff: chunk.Offset, DataLen: uint32(len(payload)),
@@ -376,6 +394,7 @@ func (g *GuestLib) RecvFrom(fd int32, buf []byte) (n int, src ipv4.Addr, port ui
 	d := s.dgrams[0]
 	s.dgrams = s.dgrams[1:]
 	n = copy(buf, d.data)
+	g.stats.RxBytesCopied += uint64(n)
 	g.stats.BytesReceived += uint64(n)
 	return n, d.src, d.port, true
 }
@@ -475,6 +494,7 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 			break
 		}
 		s.pair.Pages.Write(chunk, p[:n])
+		g.stats.TxBytesCopied += uint64(n)
 		e := &nqe.Element{
 			Op: nqe.OpSend, FD: fd,
 			DataOff: chunk.Offset, DataLen: uint32(n),
@@ -505,16 +525,19 @@ func (g *GuestLib) Recv(fd int32, buf []byte) (n int, eof bool) {
 		return 0, true
 	}
 	for n < len(buf) && len(s.recvQ) > 0 {
-		head := s.recvQ[0][s.recvOff:]
-		m := copy(buf[n:], head)
+		head := s.recvQ[0]
+		src := s.pair.Pages.Bytes(head.chunk)[s.recvOff:head.size]
+		m := copy(buf[n:], src)
 		n += m
 		s.recvOff += m
-		if s.recvOff == len(s.recvQ[0]) {
+		if s.recvOff == head.size {
+			s.pair.Pages.Free(head.chunk)
 			s.recvQ = s.recvQ[1:]
 			s.recvOff = 0
 		}
 	}
 	if n > 0 {
+		g.stats.RxBytesCopied += uint64(n)
 		g.stats.BytesReceived += uint64(n)
 		// Return receive credit so the NSM keeps reading (§3.2 recv()
 		// "simply checks and copies new data in the VM receive queue").
@@ -531,7 +554,7 @@ func (g *GuestLib) ReadAvailable(fd int32) int {
 	}
 	total := -s.recvOff
 	for _, c := range s.recvQ {
-		total += len(c)
+		total += c.size
 	}
 	return total
 }
@@ -555,6 +578,13 @@ func (g *GuestLib) Close(fd int32) {
 		return
 	}
 	s.closeSent = true
+	// The application is done reading: return any unconsumed receive
+	// chunks to the pool (and discard late arrivals in handleEvent).
+	for _, seg := range s.recvQ {
+		s.pair.Pages.Free(seg.chunk)
+	}
+	s.recvQ = nil
+	s.recvOff = 0
 	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpClose, FD: fd})
 }
 
@@ -726,18 +756,25 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
 			s.cbs.OnAcceptable()
 		}
 	case nqe.OpNewData:
-		if s == nil {
+		if s == nil || s.closeSent {
+			// No socket to own the chunk (stale fd, or the application
+			// already closed): return it to the pool instead of leaking.
+			pair.Pages.Free(shmChunk(e.DataOff))
 			return
 		}
-		// Copy out of the huge pages and free the chunk.
-		data := make([]byte, e.DataLen)
-		pair.Pages.Read(shmChunk(e.DataOff), data, int(e.DataLen))
-		pair.Pages.Free(shmChunk(e.DataOff))
 		if s.kind == kindDatagram {
+			// Datagrams copy out immediately: each carries its source
+			// address and the queue is not a byte stream.
+			data := make([]byte, e.DataLen)
+			pair.Pages.Read(shmChunk(e.DataOff), data, int(e.DataLen))
+			g.stats.RxBytesCopied += uint64(e.DataLen)
+			pair.Pages.Free(shmChunk(e.DataOff))
 			src, port := nqe.UnpackAddr(e.Arg0)
 			s.dgrams = append(s.dgrams, datagram{src: src, port: port, data: data})
 		} else {
-			s.recvQ = append(s.recvQ, data)
+			// Streams keep the chunk: Recv copies straight from it into
+			// the application buffer, eliding the intermediate copy.
+			s.recvQ = append(s.recvQ, recvSeg{chunk: shmChunk(e.DataOff), size: int(e.DataLen)})
 		}
 		if s.cbs.OnReadable != nil {
 			s.cbs.OnReadable()
@@ -745,6 +782,15 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
 	case nqe.OpConnClosed:
 		if s == nil {
 			return
+		}
+		if e.Status != nqe.StatusOK {
+			// Abortive close (reset, timeout, module crash): undelivered
+			// receive data is discarded, BSD-style — return the chunks.
+			for _, seg := range s.recvQ {
+				pair.Pages.Free(seg.chunk)
+			}
+			s.recvQ = nil
+			s.recvOff = 0
 		}
 		s.eof = true
 		wasClosed := s.state == stClosed

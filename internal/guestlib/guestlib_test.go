@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"netkernel/internal/nkchan"
+	"netkernel/internal/nkqueue"
 	"netkernel/internal/nqe"
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/sim"
@@ -350,5 +351,62 @@ func TestStatsAccounting(t *testing.T) {
 	st := h.g.Stats()
 	if st.OpsIssued == 0 || st.BytesSent != 1000 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSendToFullQueueFreesChunk pins the ENOBUFS path: when the job
+// ring is full, SendTo must fail AND return the already-written
+// huge-page chunk to the pool — the descriptor never made it out, so
+// nobody else will ever free it.
+func TestSendToFullQueueFreesChunk(t *testing.T) {
+	// A tiny job ring and no engine draining it, so sends back up.
+	pair, err := nkchan.NewPair(nkchan.Config{Queue: nkqueue.Config{Slots: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := sim.NewLoop()
+	g := New(Config{Clock: loop, VMID: 7, Pair: pair})
+
+	fd := g.SocketDatagram(Callbacks{})
+	var e nqe.Element
+	if !pair.VMJob.Pop(&e) || e.Op != nqe.OpSocket {
+		t.Fatalf("expected OpSocket job, got %+v", e)
+	}
+	done := nqe.Element{Op: nqe.OpSocket, FD: fd, Seq: e.Seq, Source: nqe.FromCore, Flags: nqe.FlagCompletion}
+	pair.VMCompletion.Push(&done)
+	pair.KickVM()
+	if err := g.BindUDP(fd, 5353); err != nil {
+		t.Fatal(err)
+	}
+
+	// The OpBind occupies one of the four slots; three sends fit.
+	payload := []byte("datagram")
+	sent := 0
+	for ; sent < 8; sent++ {
+		if err := g.SendTo(fd, ipv4.Addr{10, 0, 0, 9}, 53, payload); err != nil {
+			break
+		}
+	}
+	if sent == 8 {
+		t.Fatal("job ring never filled")
+	}
+	if sent != 3 {
+		t.Fatalf("sent %d datagrams before the ring filled, want 3", sent)
+	}
+
+	// Each queued send legitimately holds one chunk; the failed one
+	// must not.
+	pool := pair.Pages
+	if free, want := pool.FreeCount(), pool.Chunks()-sent; free != want {
+		t.Errorf("pool: %d free of %d, want %d (failed SendTo leaked its chunk)",
+			free, pool.Chunks(), want)
+	}
+	// And the failure is stable, not a one-off: retry fails and still
+	// doesn't leak.
+	if err := g.SendTo(fd, ipv4.Addr{10, 0, 0, 9}, 53, payload); err == nil {
+		t.Fatal("SendTo succeeded on a full ring")
+	}
+	if free, want := pool.FreeCount(), pool.Chunks()-sent; free != want {
+		t.Errorf("pool after retry: %d free, want %d", free, want)
 	}
 }

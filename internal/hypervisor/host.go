@@ -463,3 +463,87 @@ func (h *Host) EachVM(fn func(*VM)) {
 		fn(v)
 	}
 }
+
+// CopyReport aggregates the data-path memcpy counters across one VM's
+// layers: the socket-API boundary (GuestLib), the NSM-side pump
+// (ServiceLib), and the TCP stack itself. Payload counters give the
+// copies-per-byte denominator. Note that when an NSM is multiplexed
+// across VMs its stack counters cover all tenants; the copy-budget
+// experiments use one VM per NSM so the attribution is exact.
+type CopyReport struct {
+	// PayloadTx / PayloadRx are payload bytes the guest application
+	// pushed into / pulled out of the socket API.
+	PayloadTx, PayloadRx uint64
+	// Send-direction copied bytes, by the layer whose code ran the
+	// memcpy.
+	GuestTxCopied, ServiceTxCopied, TCPTxCopied uint64
+	// Receive-direction copied bytes.
+	GuestRxCopied, ServiceRxCopied, TCPRxCopied uint64
+}
+
+// TxCopied sums send-direction copies across layers.
+func (r CopyReport) TxCopied() uint64 { return r.GuestTxCopied + r.ServiceTxCopied + r.TCPTxCopied }
+
+// RxCopied sums receive-direction copies across layers.
+func (r CopyReport) RxCopied() uint64 { return r.GuestRxCopied + r.ServiceRxCopied + r.TCPRxCopied }
+
+// TxCopiesPerByte is send-direction copies per payload byte.
+func (r CopyReport) TxCopiesPerByte() float64 {
+	if r.PayloadTx == 0 {
+		return 0
+	}
+	return float64(r.TxCopied()) / float64(r.PayloadTx)
+}
+
+// RxCopiesPerByte is receive-direction copies per payload byte.
+func (r CopyReport) RxCopiesPerByte() float64 {
+	if r.PayloadRx == 0 {
+		return 0
+	}
+	return float64(r.RxCopied()) / float64(r.PayloadRx)
+}
+
+// Sub returns the counter deltas since a prior snapshot (all fields
+// are cumulative).
+func (r CopyReport) Sub(prev CopyReport) CopyReport {
+	return CopyReport{
+		PayloadTx:       r.PayloadTx - prev.PayloadTx,
+		PayloadRx:       r.PayloadRx - prev.PayloadRx,
+		GuestTxCopied:   r.GuestTxCopied - prev.GuestTxCopied,
+		ServiceTxCopied: r.ServiceTxCopied - prev.ServiceTxCopied,
+		TCPTxCopied:     r.TCPTxCopied - prev.TCPTxCopied,
+		GuestRxCopied:   r.GuestRxCopied - prev.GuestRxCopied,
+		ServiceRxCopied: r.ServiceRxCopied - prev.ServiceRxCopied,
+		TCPRxCopied:     r.TCPRxCopied - prev.TCPRxCopied,
+	}
+}
+
+// CopyReport snapshots the VM's cumulative copy counters. Legacy VMs
+// report only the in-guest stack's TCP copies (the socket API there is
+// the stack's own Read/Write, already counted by the TCP layer).
+func (vm *VM) CopyReport() CopyReport {
+	var r CopyReport
+	if vm.Guest != nil {
+		gs := vm.Guest.Stats()
+		r.PayloadTx = gs.BytesSent
+		r.PayloadRx = gs.BytesReceived
+		r.GuestTxCopied = gs.TxBytesCopied
+		r.GuestRxCopied = gs.RxBytesCopied
+	}
+	for _, svc := range vm.Services {
+		ss := svc.Stats()
+		r.ServiceTxCopied += ss.TxBytesCopied
+		r.ServiceRxCopied += ss.RxBytesCopied
+	}
+	for _, n := range vm.NSMs {
+		st := n.Stack.Stats()
+		r.TCPTxCopied += st.TCPCopiedTx
+		r.TCPRxCopied += st.TCPCopiedRx
+	}
+	if vm.Legacy != nil {
+		st := vm.Legacy.Stats()
+		r.TCPTxCopied += st.TCPCopiedTx
+		r.TCPRxCopied += st.TCPCopiedRx
+	}
+	return r
+}

@@ -85,6 +85,12 @@ type Config struct {
 	// OnClose fires once when the connection fully terminates; err is
 	// nil for a clean close.
 	OnClose func(err error)
+
+	// CopiedTx and CopiedRx, when non-nil, aggregate the connection's
+	// payload memcpy counters into a stack-wide ledger that survives
+	// connection teardown. The copy-budget accounting (DESIGN.md §8)
+	// reads them; they have no effect on the datapath.
+	CopiedTx, CopiedRx *uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -123,6 +129,13 @@ type Stats struct {
 	SRTT         time.Duration
 	MinRTT       time.Duration
 	DeliveryRate float64 // latest bytes/sec estimate
+
+	// TxBytesCopied and RxBytesCopied count payload bytes this layer
+	// memcpy'd on the send and receive paths. The zero-copy datapath
+	// keeps both near zero on streaming transfers: WriteOwned spans go
+	// out as views, and an installed receive sink bypasses rcvBuf.
+	TxBytesCopied uint64
+	RxBytesCopied uint64
 }
 
 // segMeta tracks one transmitted segment for retransmission and rate
@@ -162,7 +175,7 @@ type Conn struct {
 	sndMax uint32 // highest sequence ever sent (survives RTO rewind)
 	sndWnd int    // peer's advertised window, scaled to bytes
 
-	sndBuf    *byteRing // bytes in [sndUna+…, ) not yet acknowledged
+	sndBuf    *sendBuffer // bytes in [sndUna+…, ) not yet acknowledged
 	finQueued bool
 	finSent   bool
 	finSeq    uint32
@@ -195,6 +208,7 @@ type Conn struct {
 	irs      uint32
 	rcvNxt   uint32
 	rcvBuf   *byteRing
+	sink     func(p []byte) int
 	ooo      []oooSeg
 	oooBytes int
 	finRcvd  bool
@@ -236,7 +250,7 @@ func newConn(cfg Config) *Conn {
 	}
 	c := &Conn{
 		cfg:    cfg,
-		sndBuf: newByteRing(cfg.SendBufSize),
+		sndBuf: newSendBuffer(cfg.SendBufSize),
 		rcvBuf: newByteRing(cfg.RecvBufSize),
 		cc:     cfg.CC,
 		rto:    time.Second,
@@ -366,6 +380,7 @@ func (c *Conn) Write(p []byte) int {
 		return 0
 	}
 	n := c.sndBuf.Write(p)
+	c.countCopyTx(n)
 	if n < len(p) {
 		c.wantWrite = true
 	}
@@ -375,18 +390,53 @@ func (c *Conn) Write(p []byte) int {
 	return n
 }
 
+// WriteOwned appends a caller-owned span to the send buffer without
+// copying. Acceptance is all-or-nothing: on true the connection owns
+// the span and will call release exactly once — when the last covering
+// byte is cumulatively ACKed, or on teardown; on false ownership stays
+// with the caller (release does not fire) and OnWritable will signal
+// when buffer space frees. Segments, including retransmissions, read
+// the span in place, so release genuinely marks the end of its
+// retransmission lifetime (DESIGN.md §8).
+func (c *Conn) WriteOwned(data []byte, release func()) bool {
+	if c.closed || c.finQueued || c.state == StateClosed {
+		return false
+	}
+	if !c.sndBuf.WriteOwned(data, release) {
+		c.wantWrite = true
+		return false
+	}
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.trySend()
+	}
+	return true
+}
+
 // WriteBufferFree returns the free space in the send buffer.
 func (c *Conn) WriteBufferFree() int { return c.sndBuf.Free() }
+
+// WriteBufferCap returns the send buffer's total capacity.
+func (c *Conn) WriteBufferCap() int { return c.sndBuf.Cap() }
 
 // Read drains up to len(p) bytes of in-order received data. eof turns
 // true once the peer's FIN is consumed and the buffer is empty.
 func (c *Conn) Read(p []byte) (n int, eof bool) {
 	n = c.rcvBuf.Read(p)
 	if n > 0 {
+		c.countCopyRx(n)
 		c.maybeSendWindowUpdate()
 	}
 	return n, c.finRcvd && c.rcvBuf.Empty()
 }
+
+// SetReceiveSink installs a direct delivery path: in-order payload
+// arriving while rcvBuf is empty is offered to fn, which returns the
+// bytes it consumed. Consumed bytes never touch rcvBuf (the receive-side
+// copy is elided); any remainder falls back into rcvBuf, whose fill
+// closes the advertised window — so a sink that refuses (e.g. because
+// the shm receive window is exhausted) degrades into ordinary buffered
+// flow control rather than losing data. Pass nil to uninstall.
+func (c *Conn) SetReceiveSink(fn func(p []byte) int) { c.sink = fn }
 
 // ReadAvailable returns the bytes ready for Read.
 func (c *Conn) ReadAvailable() int { return c.rcvBuf.Len() }
@@ -440,6 +490,9 @@ func (c *Conn) teardown(err error) {
 			t.Stop()
 		}
 	}
+	// Any spans still unacknowledged die with the connection: fire their
+	// release hooks so borrowed huge-page chunks return to the pool.
+	c.sndBuf.ReleaseAll()
 	if !c.onEstablishedFired && c.cfg.OnEstablished != nil {
 		c.onEstablishedFired = true
 		e := err
@@ -606,6 +659,7 @@ func (c *Conn) processPayload(h *Header, payload []byte, ceMarked bool) {
 		if len(payload) > 0 && c.oooBytes+len(payload) <= c.rcvBuf.Free() {
 			data := make([]byte, len(payload))
 			copy(data, payload)
+			c.countCopyRx(len(payload))
 			c.insertOOO(oooSeg{seq: seq, data: data, fin: fin})
 			c.lastOOOSeq = seq
 		}
@@ -629,11 +683,7 @@ func (c *Conn) processPayload(h *Header, payload []byte, ceMarked bool) {
 // acceptInOrder consumes payload at rcvNxt, then merges any contiguous
 // out-of-order segments.
 func (c *Conn) acceptInOrder(payload []byte, fin bool) {
-	n := c.rcvBuf.Write(payload)
-	// Bytes beyond the buffer are dropped; the advertised window should
-	// prevent this, but a misbehaving peer must not corrupt state.
-	c.rcvNxt += uint32(n)
-	c.stats.BytesRcvd += uint64(n)
+	n := c.deliverInOrder(payload)
 	if n < len(payload) {
 		return
 	}
@@ -653,9 +703,7 @@ func (c *Conn) acceptInOrder(payload []byte, fin bool) {
 		if skip < 0 || skip > len(s.data) {
 			continue
 		}
-		m := c.rcvBuf.Write(s.data[skip:])
-		c.rcvNxt += uint32(m)
-		c.stats.BytesRcvd += uint64(m)
+		m := c.deliverInOrder(s.data[skip:])
 		if m < len(s.data[skip:]) {
 			break
 		}
@@ -663,6 +711,55 @@ func (c *Conn) acceptInOrder(payload []byte, fin bool) {
 			c.handleFIN()
 			return
 		}
+	}
+}
+
+// deliverInOrder accepts in-order payload at rcvNxt: first through the
+// receive sink (when installed and rcvBuf holds nothing older), then
+// into rcvBuf. Bytes beyond what either accepts are dropped; the
+// advertised window should prevent this, but a misbehaving peer must
+// not corrupt state.
+func (c *Conn) deliverInOrder(payload []byte) int {
+	total := 0
+	if c.sink != nil && len(payload) > 0 && c.rcvBuf.Empty() {
+		k := c.sink(payload)
+		if k < 0 || k > len(payload) {
+			panic("tcp: receive sink consumed out of range")
+		}
+		c.rcvNxt += uint32(k)
+		c.stats.BytesRcvd += uint64(k)
+		total = k
+		payload = payload[k:]
+		if len(payload) == 0 {
+			return total
+		}
+	}
+	n := c.rcvBuf.Write(payload)
+	c.countCopyRx(n)
+	c.rcvNxt += uint32(n)
+	c.stats.BytesRcvd += uint64(n)
+	return total + n
+}
+
+// countCopyTx and countCopyRx record payload memcpys into the per-conn
+// stats and the optional stack-wide ledger.
+func (c *Conn) countCopyTx(n int) {
+	if n <= 0 {
+		return
+	}
+	c.stats.TxBytesCopied += uint64(n)
+	if c.cfg.CopiedTx != nil {
+		*c.cfg.CopiedTx += uint64(n)
+	}
+}
+
+func (c *Conn) countCopyRx(n int) {
+	if n <= 0 {
+		return
+	}
+	c.stats.RxBytesCopied += uint64(n)
+	if c.cfg.CopiedRx != nil {
+		*c.cfg.CopiedRx += uint64(n)
 	}
 }
 

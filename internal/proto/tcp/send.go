@@ -345,9 +345,14 @@ func (c *Conn) retransmitSeg(s *segMeta) {
 	if off >= c.sndBuf.Len() {
 		return // already consumed (stale)
 	}
-	payload := make([]byte, length)
-	n := c.sndBuf.Peek(payload, off)
-	payload = payload[:n]
+	// A view into the span, not a copy: original segments never straddle
+	// a span boundary (trySend clips to the contiguous run), so the view
+	// covers the whole clipped range. The Output contract consumes it
+	// synchronously.
+	payload := c.sndBuf.Contig(off, length)
+	if len(payload) == 0 {
+		return
+	}
 	h := &Header{
 		Flags:  FlagACK,
 		Seq:    seq,
@@ -464,9 +469,16 @@ func (c *Conn) trySend() {
 			c.paceNext = base.Add(gap)
 		}
 
-		payload := make([]byte, n)
-		got := c.sndBuf.Peek(payload, sent)
-		payload = payload[:got]
+		// Take a zero-copy view of the next contiguous run. It may fall
+		// short of n at a span boundary (e.g. the seam between two
+		// huge-page chunks); the segment is clipped there so that every
+		// tracked segment lies within one span and retransmissions can
+		// also be served without copying.
+		payload := c.sndBuf.Contig(sent, n)
+		got := len(payload)
+		if got == 0 {
+			return
+		}
 
 		h := &Header{
 			Flags:  FlagACK,

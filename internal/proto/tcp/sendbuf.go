@@ -1,0 +1,208 @@
+package tcp
+
+// span is one region of the send buffer. Owned spans hold bytes copied
+// in by Write and may be extended in place; borrowed spans alias memory
+// the caller handed over via WriteOwned (a huge-page chunk, in
+// NetKernel's case) and carry a release hook that fires when the last
+// covering byte leaves the buffer.
+type span struct {
+	data    []byte
+	release func()
+	owned   bool
+}
+
+// sendBuffer is a scatter-gather replacement for the send-side byteRing:
+// a FIFO of spans addressed by byte offset from the unacknowledged
+// front. Segments (including retransmissions) take contiguous views into
+// the spans instead of copying payload out, and cumulative-ACK Discard
+// releases a borrowed span only once every byte it covers has been
+// discarded — which is what makes handing a refcounted huge-page chunk
+// to the connection safe across retransmissions.
+type sendBuffer struct {
+	capacity int
+	n        int // total buffered bytes
+	spans    []span
+	// Scan cache: spans[cacheIdx] starts at buffer offset cacheStart.
+	// Transmits walk the buffer sequentially, so seek resumes from the
+	// last hit instead of scanning from the front — with a deep buffer
+	// full of chunk-sized borrowed spans a cold scan is O(spans) per
+	// segment, which dominated the 40 GbE experiments.
+	cacheIdx   int
+	cacheStart int
+}
+
+func newSendBuffer(capacity int) *sendBuffer {
+	if capacity <= 0 {
+		panic("tcp: sendBuffer capacity must be positive")
+	}
+	return &sendBuffer{capacity: capacity}
+}
+
+// Cap returns the configured capacity in bytes.
+func (b *sendBuffer) Cap() int { return b.capacity }
+
+// Len returns the buffered byte count.
+func (b *sendBuffer) Len() int { return b.n }
+
+// Free returns the remaining capacity.
+func (b *sendBuffer) Free() int { return b.capacity - b.n }
+
+// Empty reports whether the buffer holds no bytes.
+func (b *sendBuffer) Empty() bool { return b.n == 0 }
+
+// Write copies p into owned storage, coalescing into the tail span when
+// it is owned, and returns the bytes accepted (bounded by Free).
+func (b *sendBuffer) Write(p []byte) int {
+	n := min(len(p), b.Free())
+	if n == 0 {
+		return 0
+	}
+	if k := len(b.spans); k > 0 && b.spans[k-1].owned {
+		b.spans[k-1].data = append(b.spans[k-1].data, p[:n]...)
+	} else {
+		d := make([]byte, n)
+		copy(d, p)
+		b.spans = append(b.spans, span{data: d, owned: true})
+	}
+	b.n += n
+	return n
+}
+
+// WriteOwned appends a borrowed span without copying. It is
+// all-or-nothing: on false the caller keeps ownership (and release does
+// not fire); on true the buffer owns the span and will invoke release
+// exactly once, when the last covering byte is discarded (cumulatively
+// ACKed) or the buffer is torn down.
+func (b *sendBuffer) WriteOwned(data []byte, release func()) bool {
+	if len(data) == 0 {
+		if release != nil {
+			release()
+		}
+		return true
+	}
+	if len(data) > b.Free() {
+		return false
+	}
+	b.spans = append(b.spans, span{data: data, release: release})
+	b.n += len(data)
+	return true
+}
+
+// seek locates offset off: the span index and the offset within it.
+// Amortized O(1) for the sequential access pattern of trySend; a
+// backward jump (retransmission) restarts the scan from the front.
+func (b *sendBuffer) seek(off int) (int, int) {
+	i, base := 0, 0
+	if b.cacheIdx < len(b.spans) && off >= b.cacheStart {
+		i, base = b.cacheIdx, b.cacheStart
+	}
+	rel := off - base
+	for ; i < len(b.spans); i++ {
+		if rel < len(b.spans[i].data) {
+			b.cacheIdx, b.cacheStart = i, off-rel
+			return i, rel
+		}
+		rel -= len(b.spans[i].data)
+	}
+	return len(b.spans), 0
+}
+
+// Contig returns a view of the longest contiguous run starting at
+// offset off, at most n bytes, without copying. The view aliases buffer
+// memory and is only valid until the next buffer mutation; transmit
+// paths consume it synchronously (the Output contract).
+func (b *sendBuffer) Contig(off, n int) []byte {
+	if off < 0 || off >= b.n || n <= 0 {
+		return nil
+	}
+	if off+n > b.n {
+		n = b.n - off
+	}
+	i, rel := b.seek(off)
+	if i == len(b.spans) {
+		return nil
+	}
+	end := min(rel+n, len(b.spans[i].data))
+	return b.spans[i].data[rel:end]
+}
+
+// Peek copies up to len(p) bytes starting at offset off into p,
+// returning the bytes copied. Retained for the rare consumers that need
+// a stable copy (window probes).
+func (b *sendBuffer) Peek(p []byte, off int) int {
+	if off < 0 || off >= b.n {
+		return 0
+	}
+	want := min(len(p), b.n-off)
+	i, rel := b.seek(off)
+	got := 0
+	for got < want && i < len(b.spans) {
+		got += copy(p[got:want], b.spans[i].data[rel:])
+		rel = 0
+		i++
+	}
+	return got
+}
+
+// Discard drops n bytes from the front (the cumulative-ACK edge),
+// firing the release hook of every borrowed span whose last byte is
+// passed. Returns the bytes actually discarded.
+func (b *sendBuffer) Discard(n int) int {
+	if n > b.n {
+		n = b.n
+	}
+	if n <= 0 {
+		return 0
+	}
+	left, popped := n, 0
+	for left > 0 {
+		sp := &b.spans[0]
+		if left < len(sp.data) {
+			// Reslice the consumed prefix away instead of tracking a
+			// head offset: for the owned tail span this is what bounds
+			// memory under a continuous stream — append regrows the
+			// backing array from the live suffix (at most the buffer
+			// capacity), abandoning the consumed prefix, instead of
+			// extending one ever-growing array.
+			sp.data = sp.data[left:]
+			left = 0
+			break
+		}
+		left -= len(sp.data)
+		if sp.release != nil {
+			sp.release()
+		}
+		*sp = span{}
+		b.spans = b.spans[1:]
+		popped++
+	}
+	if len(b.spans) == 0 {
+		b.spans = nil
+	}
+	// Shift the scan cache down with the front edge.
+	if popped > b.cacheIdx {
+		b.cacheIdx, b.cacheStart = 0, 0
+	} else {
+		b.cacheIdx -= popped
+		if b.cacheStart -= n; b.cacheStart < 0 {
+			b.cacheStart = 0
+		}
+	}
+	b.n -= n
+	return n
+}
+
+// ReleaseAll fires every outstanding release hook and empties the
+// buffer. Called on connection teardown so borrowed chunks return to
+// their pool even when the connection dies with unacknowledged data.
+func (b *sendBuffer) ReleaseAll() {
+	for i := range b.spans {
+		if b.spans[i].release != nil {
+			b.spans[i].release()
+		}
+		b.spans[i] = span{}
+	}
+	b.spans = nil
+	b.n = 0
+	b.cacheIdx, b.cacheStart = 0, 0
+}

@@ -65,6 +65,12 @@ type Stats struct {
 	DataOut       uint64 // bytes NSM→VM (receives)
 	Conns         uint64
 	Accepts       uint64
+	// TxBytesCopied and RxBytesCopied count payload bytes this layer
+	// memcpy'd. On the streaming path Tx stays zero (chunks are handed
+	// to the TCP conn as owned spans) and Rx counts exactly one copy
+	// per byte: reassembled wire payload → huge-page chunk.
+	TxBytesCopied uint64
+	RxBytesCopied uint64
 }
 
 type sendChunk struct {
@@ -83,6 +89,13 @@ type connState struct {
 	eofSent      bool
 	shaperWait   bool // a shaper retry timer is pending
 	flushPending bool // a coalescing flush timer is pending
+	// Open receive chunk: the conn's receive sink fills it directly
+	// with reassembled payload (the rcvBuf bypass). Its bytes precede
+	// anything later buffered in the conn's rcvBuf, so delivery paths
+	// must emit it before draining the conn.
+	rxChunk shm.Chunk
+	rxHave  bool
+	rxFill  int
 }
 
 type listenerState struct {
@@ -266,6 +279,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 			chunk := shm.Chunk{Offset: e.DataOff}
 			payload := make([]byte, e.DataLen)
 			s.cfg.Pair.Pages.Read(chunk, payload, int(e.DataLen))
+			s.stats.TxBytesCopied += uint64(e.DataLen)
 			s.cfg.Pair.Pages.Free(chunk)
 			if cs.udp == nil {
 				s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, Status: nqe.StatusNotConnected})
@@ -357,6 +371,7 @@ func (s *ServiceLib) handleConnect(e *nqe.Element) {
 		return
 	}
 	cs.conn = conn
+	conn.SetReceiveSink(s.makeSink(cs))
 	s.stats.Conns++
 }
 
@@ -401,6 +416,7 @@ func (s *ServiceLib) handleBind(e *nqe.Element) {
 			return // pool exhausted; drop (UDP semantics)
 		}
 		s.cfg.Pair.Pages.Write(chunk, data)
+		s.stats.RxBytesCopied += uint64(len(data))
 		s.stats.DataOut += uint64(len(data))
 		s.emit(nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewData, CID: cid,
@@ -434,6 +450,7 @@ func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
 			func() { s.pumpSend(cs) },
 			func(err error) { s.connClosed(cid, err) },
 		)
+		conn.SetReceiveSink(s.makeSink(cs))
 		s.stats.Accepts++
 		remote := conn.RemoteAddr()
 		s.emit(nkchan.Receive, &nqe.Element{
@@ -463,22 +480,28 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 	for cs.recvDebt < s.cfg.RecvWindow {
 		avail := cs.conn.ReadAvailable()
 		if avail == 0 {
-			if _, eof := cs.conn.Read(nil); eof && !cs.eofSent {
-				cs.eofSent = true
-				s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+			if flush {
+				s.emitRxChunk(cs)
+			}
+			if _, eof := cs.conn.Read(nil); eof {
+				// The open receive chunk's bytes precede EOF in stream
+				// order: emit them before the close event.
+				s.emitRxChunk(cs)
+				if !cs.eofSent {
+					cs.eofSent = true
+					s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+				}
 			}
 			return
 		}
+		// rcvBuf only fills after the sink stops consuming, so whatever
+		// sits in the open receive chunk arrived earlier; emit it first
+		// to preserve stream order.
+		s.emitRxChunk(cs)
 		// Coalesce sub-chunk dribbles: wait briefly for a full chunk so
 		// bulk transfers move one nqe per chunk, not one per segment.
 		if avail < chunkSize && !flush && s.cfg.CoalesceDelay > 0 {
-			if !cs.flushPending {
-				cs.flushPending = true
-				s.cfg.Clock.AfterFunc(s.cfg.CoalesceDelay, func() {
-					cs.flushPending = false
-					s.deliverData(cid, true)
-				})
-			}
+			s.armRxFlush(cs)
 			return
 		}
 		chunk, ok := s.cfg.Pair.Pages.Alloc()
@@ -505,17 +528,94 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 	}
 }
 
+// makeSink builds the conn's receive sink (the rcvBuf bypass): in-order
+// reassembled payload moves straight into the open huge-page chunk, one
+// copy, instead of transiting the conn's receive buffer and being copied
+// back out. Refusing bytes (shm window exhausted, pool empty, dead
+// module) pushes them into the conn's rcvBuf, whose fill closes the TCP
+// window — ordinary flow control remains the backstop.
+func (s *ServiceLib) makeSink(cs *connState) func([]byte) int {
+	return func(p []byte) int { return s.sinkData(cs, p) }
+}
+
+func (s *ServiceLib) sinkData(cs *connState, p []byte) int {
+	if s.dead || cs.recvDebt >= s.cfg.RecvWindow {
+		return 0
+	}
+	chunkSize := s.cfg.Pair.ChunkSize()
+	consumed := 0
+	for len(p) > 0 && cs.recvDebt < s.cfg.RecvWindow {
+		if !cs.rxHave {
+			chunk, ok := s.cfg.Pair.Pages.Alloc()
+			if !ok {
+				break // pool exhausted; remainder buffers in the conn
+			}
+			cs.rxChunk, cs.rxHave, cs.rxFill = chunk, true, 0
+		}
+		n := copy(s.cfg.Pair.Pages.Bytes(cs.rxChunk)[cs.rxFill:], p)
+		cs.rxFill += n
+		consumed += n
+		p = p[n:]
+		s.stats.RxBytesCopied += uint64(n)
+		if cs.rxFill == chunkSize {
+			s.emitRxChunk(cs)
+		}
+	}
+	if cs.rxHave && cs.rxFill > 0 {
+		s.armRxFlush(cs)
+	}
+	return consumed
+}
+
+// emitRxChunk pushes the open receive chunk (if it holds any bytes)
+// toward the VM and charges it against the shm receive window.
+func (s *ServiceLib) emitRxChunk(cs *connState) {
+	if !cs.rxHave || cs.rxFill == 0 {
+		return
+	}
+	cs.recvDebt += cs.rxFill
+	s.stats.DataOut += uint64(cs.rxFill)
+	s.emit(nkchan.Receive, &nqe.Element{
+		Op: nqe.OpNewData, CID: cs.cid,
+		DataOff: cs.rxChunk.Offset, DataLen: uint32(cs.rxFill),
+	})
+	cs.rxHave, cs.rxFill = false, 0
+}
+
+// armRxFlush schedules delivery of a partially-filled receive chunk,
+// waiting up to CoalesceDelay for more payload to top it off (the same
+// batching the buffered path applies).
+func (s *ServiceLib) armRxFlush(cs *connState) {
+	if s.cfg.CoalesceDelay <= 0 {
+		s.emitRxChunk(cs)
+		return
+	}
+	if cs.flushPending {
+		return
+	}
+	cs.flushPending = true
+	cid := cs.cid
+	s.cfg.Clock.AfterFunc(s.cfg.CoalesceDelay, func() {
+		cs.flushPending = false
+		s.deliverData(cid, true)
+	})
+}
+
 // pumpSend drains a connection's queued chunks into the stack socket,
-// freeing chunks and returning credit as they are consumed. A
+// returning credit as each is accepted. The hot path hands the whole
+// chunk to the TCP conn as an owned span — no copy into the socket
+// buffer; the conn holds its own huge-page reference and drops it when
+// the last covering byte is cumulatively ACKed (or the conn dies). A
 // configured Shaper gates the drain, enforcing the tenant's throughput
 // allocation.
 func (s *ServiceLib) pumpSend(cs *connState) {
 	if cs.conn == nil || cs.shaperWait {
 		return
 	}
+	pages := s.cfg.Pair.Pages
 	for len(cs.sendQ) > 0 {
 		head := &cs.sendQ[0]
-		data := s.cfg.Pair.Pages.Bytes(head.chunk)[head.off:head.size]
+		data := pages.Bytes(head.chunk)[head.off:head.size]
 		if s.cfg.Shaper != nil {
 			ok, retry := s.cfg.Shaper.Take(len(data))
 			if !ok {
@@ -527,6 +627,30 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 				return
 			}
 		}
+		if head.off == 0 && head.size <= cs.conn.WriteBufferCap() {
+			// Zero-copy hand-off. The span takes its own reference so
+			// that a module crash (which frees the queue's reference)
+			// cannot pull the chunk out from under in-flight segments.
+			chunk := head.chunk
+			pages.Retain(chunk)
+			if !cs.conn.WriteOwned(data, func() { pages.Free(chunk) }) {
+				pages.Free(chunk) // hand-off refused: drop the span's reference
+				if s.cfg.Shaper != nil {
+					s.cfg.Shaper.Refund(len(data))
+				}
+				return // send buffer full (or conn closing); OnWritable resumes
+			}
+			s.stats.DataIn += uint64(head.size)
+			pages.Free(chunk) // the queue's reference; the span keeps its own
+			s.emit(nkchan.Completion, &nqe.Element{
+				Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
+			})
+			cs.sendQ = cs.sendQ[1:]
+			continue
+		}
+		// Copy fallback: a chunk larger than the conn's whole send buffer
+		// can never fit as a single span; stream it through Write (the
+		// TCP layer counts that copy).
 		n := cs.conn.Write(data)
 		if s.cfg.Shaper != nil && n < len(data) {
 			s.cfg.Shaper.Refund(len(data) - n)
@@ -536,7 +660,7 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 		if head.off < head.size {
 			return // socket buffer full; OnWritable resumes
 		}
-		s.cfg.Pair.Pages.Free(head.chunk)
+		pages.Free(head.chunk)
 		s.emit(nkchan.Completion, &nqe.Element{
 			Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
 		})
@@ -556,11 +680,18 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 		cs.eofSent = true
 		s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: statusFromErr(err)})
 	}
-	// Release still-queued send chunks.
+	// Release still-queued send chunks. (Chunks already handed to the
+	// conn as spans are released by the conn's own teardown.)
 	for _, c := range cs.sendQ {
 		s.cfg.Pair.Pages.Free(c.chunk)
 	}
 	cs.sendQ = nil
+	// deliverData flushed the open receive chunk if it held bytes; an
+	// empty one allocated but never filled would leak without this.
+	if cs.rxHave {
+		s.cfg.Pair.Pages.Free(cs.rxChunk)
+		cs.rxHave, cs.rxFill = false, 0
+	}
 	delete(s.conns, cid)
 }
 
@@ -583,8 +714,14 @@ func (s *ServiceLib) Crash() {
 			s.cfg.Pair.Pages.Free(c.chunk)
 		}
 		cs.sendQ = nil
+		if cs.rxHave {
+			s.cfg.Pair.Pages.Free(cs.rxChunk)
+			cs.rxHave, cs.rxFill = false, 0
+		}
 		// Detach the sockets so timers still in flight (shaper retries,
-		// coalescing flushes) find nothing to drive.
+		// coalescing flushes) find nothing to drive. Chunks the conns
+		// hold as send spans are released when the hypervisor kills the
+		// module's stack (each reference was the span's own).
 		cs.conn = nil
 		cs.udp = nil
 	}

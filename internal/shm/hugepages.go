@@ -3,6 +3,7 @@ package shm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // A Chunk is a fixed-size window of a huge-page region, identified by its
@@ -15,17 +16,39 @@ type Chunk struct {
 	Offset uint64
 }
 
-// HugePages is a chunk allocator over a shared Region, standing in for
-// the per-VM↔NSM huge-page area. Allocation is a LIFO free list guarded
-// by a mutex, because in the wall-clock domain the guest side allocates
-// while the NSM side frees (and vice versa for receive).
+// hugePageShards bounds the number of free-list shards. Small pools get
+// one shard per chunk; anything realistic gets the full set.
+const hugePageShards = 8
+
+type hpShard struct {
+	mu   sync.Mutex
+	free []int32
+}
+
+// HugePages is a refcounted chunk allocator over a shared Region,
+// standing in for the per-VM↔NSM huge-page area.
+//
+// The free lists are sharded: each chunk has a home shard (a contiguous
+// index range), Free returns a chunk to its home shard, and Alloc starts
+// from a rotating preferred shard and steals from the others on a miss.
+// In the wall-clock domain the guest side allocates while the NSM side
+// frees (and vice versa for receive); sharding keeps those two from
+// serializing on a single mutex while each shard's LIFO order preserves
+// cache warmth.
+//
+// Chunks carry a reference count: Alloc hands out a chunk with one
+// reference, Retain adds one (e.g. while a TCP send buffer holds a span
+// into the chunk and the NSM still tracks it), and Free drops one. The
+// chunk returns to its home free list only when the last reference is
+// dropped. Releasing a chunk that is already free panics, as before.
 type HugePages struct {
 	region    *Region
 	chunkSize int
 
-	mu    sync.Mutex
-	free  []int32
-	inUse []bool
+	shardSize int // chunk indexes per shard
+	shards    []hpShard
+	cursor    atomic.Uint32 // rotating preferred shard for Alloc
+	refs      []atomic.Int32
 }
 
 // NewHugePages builds an allocator of pages×PageSize bytes divided into
@@ -38,15 +61,22 @@ func NewHugePages(pages, chunkSize int) (*HugePages, error) {
 		return nil, fmt.Errorf("shm: chunk size %d must be positive and divide the %d-byte page", chunkSize, PageSize)
 	}
 	n := pages * (PageSize / chunkSize)
+	nshards := hugePageShards
+	if n < nshards {
+		nshards = n
+	}
 	h := &HugePages{
 		region:    NewRegion(pages * PageSize),
 		chunkSize: chunkSize,
-		free:      make([]int32, n),
-		inUse:     make([]bool, n),
+		shardSize: (n + nshards - 1) / nshards,
+		shards:    make([]hpShard, nshards),
+		refs:      make([]atomic.Int32, n),
 	}
-	// LIFO free list: hand back the lowest chunks first for cache warmth.
-	for i := range h.free {
-		h.free[i] = int32(n - 1 - i)
+	// Per-shard LIFO free lists ordered so the lowest chunk pops first
+	// (cache warmth, and the historical allocation order within a shard).
+	for idx := n - 1; idx >= 0; idx-- {
+		s := &h.shards[idx/h.shardSize]
+		s.free = append(s.free, int32(idx))
 	}
 	return h, nil
 }
@@ -55,43 +85,89 @@ func NewHugePages(pages, chunkSize int) (*HugePages, error) {
 func (h *HugePages) ChunkSize() int { return h.chunkSize }
 
 // Chunks returns the total number of chunks.
-func (h *HugePages) Chunks() int { return len(h.inUse) }
+func (h *HugePages) Chunks() int { return len(h.refs) }
 
 // FreeCount returns the number of chunks currently available.
 func (h *HugePages) FreeCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.free)
-}
-
-// Alloc reserves one chunk. It reports false when the region is full,
-// which callers treat as backpressure (§3.2: the sender stalls until the
-// receiver consumes and frees).
-func (h *HugePages) Alloc() (Chunk, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	n := len(h.free)
-	if n == 0 {
-		return Chunk{}, false
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		n += len(h.shards[i].free)
+		h.shards[i].mu.Unlock()
 	}
-	idx := h.free[n-1]
-	h.free = h.free[:n-1]
-	h.inUse[idx] = true
-	return Chunk{Offset: uint64(idx) * uint64(h.chunkSize)}, true
+	return n
 }
 
-// Free returns a chunk to the allocator. Double frees and misaligned
-// offsets panic: both indicate descriptor corruption, which in a real
-// deployment would be a guest escaping its huge-page window.
+// LiveRefs sums the reference counts of all in-use chunks. At quiescence
+// (no chunk handed out) it must be zero; the chaos harness asserts this
+// together with FreeCount()==Chunks().
+func (h *HugePages) LiveRefs() int {
+	n := 0
+	for i := range h.refs {
+		n += int(h.refs[i].Load())
+	}
+	return n
+}
+
+// RefCount reports the chunk's current reference count (0 = free).
+func (h *HugePages) RefCount(c Chunk) int { return int(h.refs[h.index(c)].Load()) }
+
+// Alloc reserves one chunk with a reference count of one. It reports
+// false when the region is full, which callers treat as backpressure
+// (§3.2: the sender stalls until the receiver consumes and frees).
+//
+// The search starts at a rotating preferred shard and work-steals from
+// the remaining shards on a miss, so concurrent allocators spread across
+// the free lists instead of queueing on one lock.
+func (h *HugePages) Alloc() (Chunk, bool) {
+	start := int(h.cursor.Add(1)-1) % len(h.shards)
+	for i := 0; i < len(h.shards); i++ {
+		s := &h.shards[(start+i)%len(h.shards)]
+		s.mu.Lock()
+		n := len(s.free)
+		if n == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.mu.Unlock()
+		h.refs[idx].Store(1)
+		return Chunk{Offset: uint64(idx) * uint64(h.chunkSize)}, true
+	}
+	return Chunk{}, false
+}
+
+// Retain adds a reference to an allocated chunk. It panics if the chunk
+// is currently free: taking a reference on unowned memory is the same
+// descriptor-corruption class of bug as a double free.
+func (h *HugePages) Retain(c Chunk) {
+	idx := h.index(c)
+	if n := h.refs[idx].Add(1); n <= 1 {
+		h.refs[idx].Add(-1)
+		panic(fmt.Sprintf("shm: retain of free chunk at offset %d", c.Offset))
+	}
+}
+
+// Free drops one reference; the chunk returns to its home shard's free
+// list when the last reference is dropped. Releasing an already-free
+// chunk or a misaligned offset panics: both indicate descriptor
+// corruption, which in a real deployment would be a guest escaping its
+// huge-page window.
 func (h *HugePages) Free(c Chunk) {
 	idx := h.index(c)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.inUse[idx] {
+	n := h.refs[idx].Add(-1)
+	if n < 0 {
+		h.refs[idx].Add(1)
 		panic(fmt.Sprintf("shm: double free of chunk at offset %d", c.Offset))
 	}
-	h.inUse[idx] = false
-	h.free = append(h.free, idx)
+	if n > 0 {
+		return // other holders remain
+	}
+	s := &h.shards[int(idx)/h.shardSize]
+	s.mu.Lock()
+	s.free = append(s.free, idx)
+	s.mu.Unlock()
 }
 
 func (h *HugePages) index(c Chunk) int32 {

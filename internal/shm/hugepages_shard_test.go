@@ -1,0 +1,122 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHugePagesRetainDefersFree(t *testing.T) {
+	h, _ := NewHugePages(1, PageSize/4)
+	c, ok := h.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if got := h.RefCount(c); got != 1 {
+		t.Fatalf("fresh chunk RefCount = %d, want 1", got)
+	}
+	h.Retain(c)
+	if got := h.RefCount(c); got != 2 {
+		t.Fatalf("after Retain RefCount = %d, want 2", got)
+	}
+	h.Free(c)
+	if got := h.RefCount(c); got != 1 {
+		t.Fatalf("after first Free RefCount = %d, want 1", got)
+	}
+	if h.FreeCount() != h.Chunks()-1 {
+		t.Fatalf("chunk returned to pool with a live reference: FreeCount = %d", h.FreeCount())
+	}
+	h.Free(c)
+	if h.FreeCount() != h.Chunks() {
+		t.Fatalf("FreeCount = %d after last reference dropped, want %d", h.FreeCount(), h.Chunks())
+	}
+	if h.LiveRefs() != 0 {
+		t.Fatalf("LiveRefs = %d at quiescence", h.LiveRefs())
+	}
+}
+
+func TestHugePagesRetainFreeChunkPanics(t *testing.T) {
+	h, _ := NewHugePages(1, 8192)
+	c, _ := h.Alloc()
+	h.Free(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain of a free chunk did not panic")
+		}
+	}()
+	h.Retain(c)
+}
+
+func TestHugePagesStealsAcrossShards(t *testing.T) {
+	// Exhaust the pool through repeated Allocs: the rotating cursor visits
+	// every shard, and once the preferred shard runs dry the search must
+	// steal from the others until the whole region is handed out.
+	h, _ := NewHugePages(1, PageSize/64) // 64 chunks over 8 shards
+	seen := map[uint64]bool{}
+	for i := 0; i < h.Chunks(); i++ {
+		c, ok := h.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed with %d chunks outstanding", i, len(seen))
+		}
+		if seen[c.Offset] {
+			t.Fatalf("duplicate chunk offset %d", c.Offset)
+		}
+		seen[c.Offset] = true
+	}
+	if _, ok := h.Alloc(); ok {
+		t.Fatal("alloc succeeded on exhausted region")
+	}
+	for off := range seen {
+		h.Free(Chunk{Offset: off})
+	}
+	if h.FreeCount() != h.Chunks() {
+		t.Fatalf("FreeCount = %d after freeing all, want %d", h.FreeCount(), h.Chunks())
+	}
+}
+
+// TestHugePagesConcurrentAllocFree is the wall-clock contention scenario
+// the sharded design exists for: guest-side goroutines allocating while
+// NSM-side goroutines free, with occasional Retain/Free pairs riding
+// along. Run under -race; the assertions check conservation, not timing.
+func TestHugePagesConcurrentAllocFree(t *testing.T) {
+	h, _ := NewHugePages(2, 8192) // 512 chunks
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var held []Chunk
+			for i := 0; i < rounds; i++ {
+				if c, ok := h.Alloc(); ok {
+					h.Bytes(c)[0] = byte(w)
+					if i%3 == 0 {
+						h.Retain(c)
+						h.Free(c)
+					}
+					held = append(held, c)
+				}
+				// Free in bursts so alloc and free phases overlap across
+				// goroutines rather than pairing up within one.
+				if len(held) > 16 {
+					for _, c := range held {
+						h.Free(c)
+					}
+					held = held[:0]
+				}
+			}
+			for _, c := range held {
+				h.Free(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.FreeCount() != h.Chunks() {
+		t.Fatalf("FreeCount = %d after quiescence, want %d", h.FreeCount(), h.Chunks())
+	}
+	if h.LiveRefs() != 0 {
+		t.Fatalf("LiveRefs = %d after quiescence, want 0", h.LiveRefs())
+	}
+}

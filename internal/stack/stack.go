@@ -76,6 +76,11 @@ type Stats struct {
 	DroppedNoSocket       uint64
 	DroppedDead           uint64 // frames arriving after Kill
 	ARPRequests, ARPReply uint64
+	// TCPCopiedTx and TCPCopiedRx aggregate the TCP layer's payload
+	// memcpy counters across every connection this stack has hosted,
+	// including ones already torn down (the per-conn Stats die with the
+	// conn; the copy-budget accounting needs the cumulative view).
+	TCPCopiedTx, TCPCopiedRx uint64
 }
 
 // Stack is one host's network stack.

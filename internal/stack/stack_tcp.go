@@ -93,6 +93,8 @@ func (s *Stack) connConfig(local, remote tcp.AddrPort, ccAlg tcpcc.Algorithm, op
 		OnReadable:        opts.OnReadable,
 		OnWritable:        opts.OnWritable,
 		OnClose:           opts.OnClose,
+		CopiedTx:          &s.stats.TCPCopiedTx,
+		CopiedRx:          &s.stats.TCPCopiedRx,
 	}
 	if opts.SendBufSize > 0 {
 		cfg.SendBufSize = opts.SendBufSize
