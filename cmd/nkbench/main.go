@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"netkernel/internal/experiments"
@@ -105,6 +106,14 @@ func micro() {
 	fmt.Printf("  %-8s %8.3f copies/B  (guest %d + service %d + tcp %d copied of %d payload B)\n",
 		"recv", res.RxCopiesPerByte,
 		res.Report.GuestRxCopied, res.Report.ServiceRxCopied, res.Report.TCPRxCopied, res.Report.PayloadRx)
+
+	// The same run's client-host registry, excerpted (nkctl stats
+	// renders the full set for the demo cloud).
+	fmt.Printf("unified registry excerpt (client host):\n")
+	excerpt := res.Snapshot.Filter("vm1.guest.", "engine.", "nsm1.stack.tcp")
+	for _, line := range strings.Split(strings.TrimRight(excerpt.String(), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
 }
 
 func fig4() {

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	nkctl [-tenants N] [-duration D]
+//	nkctl [-tenants N] [-duration D]          operator demo (default)
+//	nkctl [-filter PREFIX] stats              unified telemetry snapshot
+//	nkctl [-sample N] trace                   per-nqe pipeline spans
 package main
 
 import (
@@ -21,18 +23,46 @@ import (
 var (
 	tenants  = flag.Int("tenants", 3, "tenant VMs to provision")
 	duration = flag.Duration("duration", 2*time.Second, "simulated runtime")
+	sample   = flag.Int("sample", 64, "trace: sample every Nth operation")
+	filter   = flag.String("filter", "", "stats: comma-free metric name prefix to keep")
 )
 
 func main() {
 	flag.Parse()
+	switch flag.Arg(0) {
+	case "", "demo":
+		demo()
+	case "stats":
+		runStats()
+	case "trace":
+		runTrace()
+	default:
+		fmt.Printf("nkctl: unknown command %q (want demo, stats, or trace)\n", flag.Arg(0))
+	}
+}
 
-	fmt.Println("nkctl: booting a two-host NetKernel cloud")
-	c := netkernel.NewCluster(netkernel.ClusterConfig{Seed: 42, PerPacketCost: 470 * time.Nanosecond})
+// cloud is a booted two-host demo world with running tenant traffic.
+type cloud struct {
+	c       *netkernel.Cluster
+	h1, h2  *netkernel.Host
+	server  *netkernel.VM
+	vms     []*netkernel.VM
+	meters  []*pricing.Meter
+	started time.Duration
+}
+
+// buildCloud provisions the demo deployment: a server VM on host2 and
+// -tenants VMs on host1, odd tenants multiplexed onto a shared NSM.
+// traceEvery > 0 arms per-nqe span tracing on both hosts.
+func buildCloud(traceEvery int) *cloud {
+	c := netkernel.NewCluster(netkernel.ClusterConfig{
+		Seed: 42, PerPacketCost: 470 * time.Nanosecond,
+		Host: func(hc *netkernel.HostConfig) { hc.TraceSampleEvery = traceEvery },
+	})
 	h1 := c.AddHost("host1")
 	h2 := c.AddHost("host2")
 	c.ConnectHosts(h1, h2, netkernel.Testbed40G())
 
-	// A server VM on host2 for the tenants to talk to.
 	server, err := h2.CreateVM(netkernel.VMConfig{
 		Name: "server", IP: netkernel.IP("10.0.2.1"), Mode: netkernel.ModeNetKernel,
 		NSM: netkernel.NSMSpec{Form: netkernel.FormModule, CC: "cubic"},
@@ -41,8 +71,6 @@ func main() {
 		panic(err)
 	}
 
-	// Tenants on host1, multiplexed onto one shared CUBIC NSM with
-	// per-tenant rate SLAs.
 	ccs := []string{"cubic", "bbr", "dctcp", "reno", "ctcp"}
 	var vms []*netkernel.VM
 	var shared *netkernel.NSM
@@ -74,6 +102,15 @@ func main() {
 		vms = append(vms, vm)
 	}
 	c.Run(500 * time.Millisecond) // boots
+	w := &cloud{c: c, h1: h1, h2: h2, server: server, vms: vms}
+	w.meters = startTraffic(c, server, vms)
+	return w
+}
+
+func demo() {
+	fmt.Println("nkctl: booting a two-host NetKernel cloud")
+	w := buildCloud(0)
+	c, h1, h2, server, vms := w.c, w.h1, w.h2, w.server, w.vms
 
 	fmt.Printf("\ninventory: host1 %d VMs / %d NSMs, host2 %d VMs / %d NSMs\n",
 		h1.VMs(), h1.NSMs(), h2.VMs(), h2.NSMs())
@@ -81,9 +118,6 @@ func main() {
 		fmt.Printf("  nsm%-3d form=%-9s cc=%-6s tenants=%d mem=%dMB isolation=%s\n",
 			n.ID, n.Form, n.CC, n.Tenants(), n.Profile.MemoryMB, n.Profile.Isolation)
 	})
-
-	// Meters, SLAs, and an echo-sink server.
-	meters := startTraffic(c, server, vms)
 
 	// Pingmesh across the provider-controlled stacks.
 	mesh := mgmt.NewMesh(mgmt.MeshConfig{
@@ -93,6 +127,15 @@ func main() {
 		{Name: "host2/nsm", Stack: server.NSM.Stack, IP: server.IP},
 	})
 	mesh.Start()
+
+	// Registry-fed SLA trackers (the registry samples each tenant's
+	// ServiceLib ingress; no hand-fed closures).
+	var slas []*netkernel.ThroughputSLA
+	for i, vm := range vms {
+		tr := netkernel.NewVMThroughputSLA(c, h1, vm, float64(2-i%2)*1e9*0.9, 100*time.Millisecond)
+		tr.Start()
+		slas = append(slas, tr)
+	}
 
 	c.Run(*duration)
 	mesh.Stop()
@@ -109,15 +152,47 @@ func main() {
 
 	fmt.Println("\nper-tenant usage and invoices:")
 	models := pricing.DefaultModels()
-	for i, m := range meters {
+	for i, m := range w.meters {
 		u := m.Snapshot()
-		fmt.Printf("  tenant%d: %.1f MB out, %v CPU busy, %d peak conns\n",
-			i, float64(u.BytesOut)/1e6, u.CPUBusy.Round(time.Microsecond), u.PeakConns)
+		fmt.Printf("  tenant%d: %.1f MB out, %v CPU busy, %d peak conns — %s\n",
+			i, float64(u.BytesOut)/1e6, u.CPUBusy.Round(time.Microsecond), u.PeakConns, slas[i])
 		for _, line := range pricing.Invoice(u, models...) {
 			fmt.Printf("    %-14s %v\n", line.Model, line.Amount)
 		}
 	}
 	fmt.Printf("\nsimulated %v in %s of wall time\n", c.Now(), "(instantaneous)")
+}
+
+// runStats boots the demo cloud, drives traffic, and dumps the unified
+// telemetry registry of both hosts.
+func runStats() {
+	w := buildCloud(0)
+	w.c.Run(*duration)
+	for _, h := range []*netkernel.Host{w.h1, w.h2} {
+		snap := h.Snapshot()
+		if *filter != "" {
+			snap = snap.Filter(*filter)
+		}
+		fmt.Printf("== %s ==\n%s", h.Name(), snap.String())
+	}
+}
+
+// runTrace boots the demo cloud with sampling tracing armed and prints
+// the completed per-nqe spans: each hop of an operation's journey
+// through the pipeline, stamped in virtual time.
+func runTrace() {
+	if *sample < 1 {
+		*sample = 1
+	}
+	w := buildCloud(*sample)
+	w.c.Run(*duration)
+	for _, h := range []*netkernel.Host{w.h1, w.h2} {
+		spans := h.Tracer.Completed()
+		fmt.Printf("== %s: %d completed spans (sampling 1 in %d) ==\n", h.Name(), len(spans), *sample)
+		for _, sp := range spans {
+			fmt.Println("  " + sp.Format())
+		}
+	}
 }
 
 // startTraffic wires an echo sink on the server and a bulk sender per
@@ -148,7 +223,7 @@ func startTraffic(c *netkernel.Cluster, server *netkernel.VM, vms []*netkernel.V
 
 	var meters []*pricing.Meter
 	payload := make([]byte, 64<<10)
-	for i, vm := range vms {
+	for _, vm := range vms {
 		g := vm.Guest
 		var fd int32
 		pump := func() {
@@ -168,7 +243,6 @@ func startTraffic(c *netkernel.Cluster, server *netkernel.VM, vms []*netkernel.V
 		}
 
 		svc := vm.Service
-		_ = i
 		nsm := vm.NSM
 		m := pricing.NewMeter(c.Clock(), nsm.Form.String(), nsm.CPU.Cores(), nsm.Profile.MemoryMB,
 			2e9,

@@ -69,9 +69,7 @@ func main() {
 	for i, vm := range tenants {
 		startUpload(vm, sink.IP, uint16(9000+i))
 		meters = append(meters, netkernel.MeterNSM(c, vm, slas[i]))
-		svc := vm.Service
-		tr := netkernel.NewThroughputSLA(c, vm.Name, slas[i]*0.9, 100*time.Millisecond,
-			func() uint64 { return svc.Stats().DataIn })
+		tr := netkernel.NewVMThroughputSLA(c, h1, vm, slas[i]*0.9, 100*time.Millisecond)
 		tr.Start()
 		trackers = append(trackers, tr)
 	}

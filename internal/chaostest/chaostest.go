@@ -30,6 +30,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -85,6 +86,11 @@ type Profile struct {
 	// TCP/host knobs (zero = harness defaults, tuned for a LAN RTT).
 	MinRTO time.Duration
 	MSL    time.Duration
+
+	// TraceSampleEvery arms per-nqe span tracing on both hosts (every
+	// Nth operation; 0 runs untraced). Tracing uses the sim clock and
+	// counter-based sampling, so traced runs stay deterministic.
+	TraceSampleEvery int
 }
 
 // Flap is one scheduled link outage.
@@ -118,6 +124,12 @@ type Result struct {
 	Eng1, Eng2 hypervisor.EngineStats
 	Pending    int
 	Restarts   int
+
+	// Spans holds both hosts' completed pipeline spans, formatted with
+	// their hop names and virtual-time offsets (empty unless the
+	// profile set TraceSampleEvery). Formatted strings make the
+	// determinism comparison byte-exact.
+	Spans []string
 }
 
 const (
@@ -211,7 +223,8 @@ func (h *harness) run() *Result {
 			// Queue stalls can swallow the push whose completion would
 			// have been the next wakeup; the recovery timer guarantees
 			// faults delay work instead of wedging it.
-			StallRecovery: 10 * time.Microsecond,
+			StallRecovery:    10 * time.Microsecond,
+			TraceSampleEvery: prof.TraceSampleEvery,
 		})
 	}
 	h.h1 = mk("chaos1", 1)
@@ -264,6 +277,11 @@ func (h *harness) run() *Result {
 		Eng1: h.h1.Engine.Stats(), Eng2: h.h2.Engine.Stats(),
 		Pending:  h.loop.Pending(),
 		Restarts: h.server.NSM.Restarts,
+	}
+	for _, host := range []*hypervisor.Host{h.h1, h.h2} {
+		for _, sp := range host.Tracer.Completed() {
+			res.Spans = append(res.Spans, host.Name()+" "+sp.Format())
+		}
 	}
 	for _, c := range h.conns {
 		r := ConnReport{
@@ -567,6 +585,91 @@ func (h *harness) checkPools(t *testing.T) {
 	}
 }
 
+// checkTelemetry verifies the unified registry against ground truth
+// after a run. Three families of invariant:
+//
+//   - Queue conservation: per ring, everything pushed was popped or is
+//     still occupying the ring (the API-level counters are maintained
+//     independently of the ring cursors, so drift catches accounting
+//     bugs rather than restating them).
+//   - Registry/ledger agreement: snapshot values must equal the ad-hoc
+//     stats structs they mirror — switch and engine gauges, and each
+//     stack's drop/retransmit counters (which also proves last-wins
+//     re-registration survived any NSM restart).
+//   - Snapshot-internal conservation: the per-queue pushed/popped/depth
+//     gauges inside one snapshot must balance.
+func (h *harness) checkTelemetry(t *testing.T) {
+	t.Helper()
+	for _, vm := range []*hypervisor.VM{h.client, h.server} {
+		for i, pair := range vm.Guest.Pairs() {
+			queues := map[string]nkqueue.Q{
+				"vm_job": pair.VMJob, "vm_completion": pair.VMCompletion, "vm_receive": pair.VMReceive,
+				"nsm_job": pair.NSMJob, "nsm_completion": pair.NSMCompletion, "nsm_receive": pair.NSMReceive,
+			}
+			for name, q := range queues {
+				if q.Pushed() != q.Popped()+uint64(q.Len()) {
+					t.Errorf("[seed %d] %s pair %d queue %s: pushed %d != popped %d + len %d",
+						h.seed, vm.Name, i, name, q.Pushed(), q.Popped(), q.Len())
+				}
+			}
+		}
+	}
+	for name, host := range map[string]*hypervisor.Host{"h1": h.h1, "h2": h.h2} {
+		snap := host.Snapshot()
+		sw := host.Switch.Stats()
+		eng := host.Engine.Stats()
+		gauges := map[string]uint64{
+			"switch.rx_frames":          sw.RxFrames,
+			"switch.forwarded":          sw.Forwarded,
+			"switch.flooded":            sw.Flooded,
+			"switch.dropped":            sw.Dropped,
+			"engine.nqes_vm_to_nsm":     eng.NqesVMToNSM,
+			"engine.nqes_nsm_to_vm":     eng.NqesNSMToVM,
+			"engine.translated":         eng.Translated,
+			"engine.bad_elements":       eng.BadElements,
+			"engine.discarded_elements": eng.DiscardedElements,
+		}
+		for metric, want := range gauges {
+			if got := snap.Gauge(metric); got != int64(want) {
+				t.Errorf("[seed %d] host %s: registry %s = %d, ground truth %d",
+					h.seed, name, metric, got, want)
+			}
+		}
+		for gname, v := range snap.Gauges {
+			if !strings.HasSuffix(gname, ".pushed") {
+				continue
+			}
+			base := strings.TrimSuffix(gname, ".pushed")
+			if v != snap.Gauges[base+".popped"]+snap.Gauges[base+".depth"] {
+				t.Errorf("[seed %d] host %s: snapshot %s: pushed %d != popped %d + depth %d",
+					h.seed, name, base, v, snap.Gauges[base+".popped"], snap.Gauges[base+".depth"])
+			}
+		}
+	}
+	for _, nsm := range []*hypervisor.NSM{h.client.NSM, h.server.NSM} {
+		st := nsm.Stack.Stats()
+		snap := h.h1.Snapshot()
+		if nsm == h.server.NSM {
+			snap = h.h2.Snapshot()
+		}
+		prefix := fmt.Sprintf("nsm%d.stack.", nsm.ID)
+		counters := map[string]uint64{
+			prefix + "dropped_no_route":   st.DroppedNoRoute,
+			prefix + "dropped_bad_packet": st.DroppedBadPacket,
+			prefix + "dropped_no_socket":  st.DroppedNoSocket,
+			prefix + "dropped_dead":       st.DroppedDead,
+			prefix + "tcp_retransmits":    st.TCPRetransmits,
+			prefix + "frames_in":          st.FramesIn,
+			prefix + "frames_out":         st.FramesOut,
+		}
+		for metric, want := range counters {
+			if got := snap.Counter(metric); got != want {
+				t.Errorf("[seed %d] registry %s = %d, stack ledger %d", h.seed, metric, got, want)
+			}
+		}
+	}
+}
+
 // RunAndCheck executes the scenario and applies every invariant,
 // logging the trace on failure.
 func RunAndCheck(t *testing.T, seed uint64, prof Profile) *Result {
@@ -575,6 +678,7 @@ func RunAndCheck(t *testing.T, seed uint64, prof Profile) *Result {
 	res := h.run()
 	Check(t, res)
 	h.checkPools(t)
+	h.checkTelemetry(t)
 	if t.Failed() {
 		for _, line := range res.Trace {
 			t.Log(line)
@@ -603,6 +707,14 @@ func Equal(a, b *Result) (string, bool) {
 	}
 	if a.Eng1 != b.Eng1 || a.Eng2 != b.Eng2 {
 		return "engine stats differ", false
+	}
+	if len(a.Spans) != len(b.Spans) {
+		return fmt.Sprintf("span count %d vs %d", len(a.Spans), len(b.Spans)), false
+	}
+	for i := range a.Spans {
+		if a.Spans[i] != b.Spans[i] {
+			return fmt.Sprintf("span[%d]: %q vs %q", i, a.Spans[i], b.Spans[i]), false
+		}
 	}
 	if len(a.Conns) != len(b.Conns) {
 		return "conn counts differ", false

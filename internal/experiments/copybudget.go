@@ -18,6 +18,7 @@ import (
 	"netkernel/internal/guestlib"
 	"netkernel/internal/hypervisor"
 	"netkernel/internal/netsim"
+	"netkernel/internal/telemetry"
 )
 
 // CopyBudgetConfig shapes the echo measurement.
@@ -31,6 +32,9 @@ type CopyBudgetConfig struct {
 	EchoChunk int
 	// Seed drives deterministic randomness (default 4242).
 	Seed uint64
+	// TraceSampleEvery arms per-nqe span tracing on both hosts (every
+	// Nth operation; 0, the default, runs untraced).
+	TraceSampleEvery int
 }
 
 func (c *CopyBudgetConfig) fillDefaults() {
@@ -63,6 +67,13 @@ type CopyBudgetResult struct {
 	// memcpy's each payload byte suffered in each direction.
 	TxCopiesPerByte float64
 	RxCopiesPerByte float64
+	// Snapshot is the client host's unified telemetry registry at the
+	// end of the run (queue accounting, doorbells, stack counters, and
+	// span-latency histograms when tracing is armed).
+	Snapshot telemetry.Snapshot
+	// Spans are the client host's completed pipeline spans, oldest
+	// first (empty unless TraceSampleEvery > 0).
+	Spans []telemetry.Span
 }
 
 // RunCopyBudget runs the echo and audits the copies.
@@ -74,6 +85,9 @@ func RunCopyBudget(cfg CopyBudgetConfig) CopyBudgetResult {
 		Cores:         8,
 		Seed:          cfg.Seed,
 		MinRTO:        10 * time.Millisecond,
+		Mutate: func(hc *hypervisor.HostConfig) {
+			hc.TraceSampleEvery = cfg.TraceSampleEvery
+		},
 	})
 	spec := hypervisor.NSMSpec{Form: hypervisor.FormVM, CC: "cubic", Cores: 8}
 	client, err := w.H1.CreateVM(hypervisor.VMConfig{Name: "cli", IP: SenderIP, Mode: hypervisor.ModeNetKernel, NSM: spec})
@@ -116,6 +130,8 @@ func RunCopyBudget(cfg CopyBudgetConfig) CopyBudgetResult {
 		Report:          delta,
 		TxCopiesPerByte: delta.TxCopiesPerByte(),
 		RxCopiesPerByte: delta.RxCopiesPerByte(),
+		Snapshot:        w.H1.Snapshot(),
+		Spans:           w.H1.Tracer.Completed(),
 	}
 }
 

@@ -261,3 +261,41 @@ func TestCopyBudgetGate(t *testing.T) {
 		t.Errorf("receive path copies/byte %.3f exceeds the 2.5 budget", res.RxCopiesPerByte)
 	}
 }
+
+// TestTraceOverheadGate is the telemetry overhead regression gate
+// (DESIGN.md §9): with tracing off — the production default — the
+// streaming echo must stay within 5% of the PR 3 goodput baseline
+// recorded in BENCH_echo.json (15.5 Gbit/s, seed 4242). The registry
+// counters are always on, so this gate prices the whole observability
+// layer: atomic counters on every hot path plus the disabled tracer's
+// nil-check-and-atomic-load. A traced run (1-in-64 sampling) is
+// measured alongside and logged for EXPERIMENTS.md; it is
+// informational, not gated, because sampled tracing is opt-in.
+func TestTraceOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead echo pair takes ~60s")
+	}
+	// PR 3 baseline from BENCH_echo.json with the identical
+	// configuration (100 ms warmup + 100 ms window, seed 4242).
+	const baselineBps = 15.5e9
+	cfg := CopyBudgetConfig{
+		Warmup: 100 * time.Millisecond,
+		Window: 100 * time.Millisecond,
+	}
+	off := RunCopyBudget(cfg)
+	cfg.TraceSampleEvery = 64
+	on := RunCopyBudget(cfg)
+
+	t.Logf("tracing off: %.2f Gbit/s  tracing 1/64: %.2f Gbit/s  baseline: %.2f Gbit/s",
+		off.GoodputBps/1e9, on.GoodputBps/1e9, baselineBps/1e9)
+	if floor := 0.95 * baselineBps; off.GoodputBps < floor {
+		t.Errorf("tracing-off goodput %.2f Gbit/s below the 5%% overhead floor %.2f Gbit/s",
+			off.GoodputBps/1e9, floor/1e9)
+	}
+	if len(off.Spans) != 0 {
+		t.Errorf("tracing off yet %d spans completed", len(off.Spans))
+	}
+	if len(on.Spans) == 0 {
+		t.Error("tracing 1/64 completed no spans")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/shm"
 	"netkernel/internal/sim"
+	"netkernel/internal/telemetry"
 )
 
 func shmChunk(off uint64) shm.Chunk { return shm.Chunk{Offset: off} }
@@ -86,9 +87,16 @@ type Config struct {
 	// delay work but never wedge it (a stall may swallow the very push
 	// whose completion would have been the next wakeup).
 	StallRecovery time.Duration
+	// Metrics, when set, publishes the GuestLib counters into the host
+	// telemetry registry (e.g. "vm1.guest.bytes_sent").
+	Metrics *telemetry.Scope
+	// Tracer, when set and sampling, opens a span for sampled job
+	// pushes; the span id rides in the nqe's trace field and each
+	// downstream layer stamps a hop against it.
+	Tracer *telemetry.Tracer
 }
 
-// Stats counts GuestLib activity.
+// Stats is a point-in-time copy of the GuestLib counters.
 type Stats struct {
 	OpsIssued     uint64
 	Completions   uint64
@@ -102,6 +110,39 @@ type Stats struct {
 	// the socket-API boundary copies that cannot be elided.
 	TxBytesCopied uint64
 	RxBytesCopied uint64
+}
+
+// counters is the live atomic form of Stats: management-plane readers
+// (VM.CopyReport, registry snapshots) may run on another goroutine
+// while the guest issues ops under a wall-clock domain.
+type counters struct {
+	opsIssued, completions, events         telemetry.Counter
+	bytesSent, bytesReceived, creditStalls telemetry.Counter
+	txBytesCopied, rxBytesCopied           telemetry.Counter
+}
+
+func (c *counters) register(m *telemetry.Scope) {
+	m.Counter("ops_issued", &c.opsIssued)
+	m.Counter("completions", &c.completions)
+	m.Counter("events", &c.events)
+	m.Counter("bytes_sent", &c.bytesSent)
+	m.Counter("bytes_received", &c.bytesReceived)
+	m.Counter("credit_stalls", &c.creditStalls)
+	m.Counter("tx_bytes_copied", &c.txBytesCopied)
+	m.Counter("rx_bytes_copied", &c.rxBytesCopied)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		OpsIssued:     c.opsIssued.Load(),
+		Completions:   c.completions.Load(),
+		Events:        c.events.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesReceived: c.bytesReceived.Load(),
+		CreditStalls:  c.creditStalls.Load(),
+		TxBytesCopied: c.txBytesCopied.Load(),
+		RxBytesCopied: c.rxBytesCopied.Load(),
+	}
 }
 
 type sockKind int
@@ -183,7 +224,7 @@ type GuestLib struct {
 	sockets  map[int32]*socket
 	nextFD   int32
 	seq      uint64
-	stats    Stats
+	stats    counters
 	// stalled lists sockets whose Send came up short (credit, huge
 	// pages, or job-queue space). Every pump revisits them so one
 	// greedy socket cannot starve its siblings of queue slots.
@@ -222,6 +263,7 @@ func New(cfg Config) *GuestLib {
 		cfg: cfg, pairs: pairs, sockets: make(map[int32]*socket), nextFD: 3,
 		drain: make([]nqe.Element, 64),
 	}
+	g.stats.register(cfg.Metrics)
 	for _, p := range pairs {
 		p := p
 		p.KickVM = func() { g.pump(p) }
@@ -271,18 +313,26 @@ func (g *GuestLib) retryBacklog() {
 	}
 }
 
-// Stats returns a copy of the counters.
-func (g *GuestLib) Stats() Stats { return g.stats }
+// Stats returns a copy of the counters, read atomically.
+func (g *GuestLib) Stats() Stats { return g.stats.snapshot() }
 
 func (g *GuestLib) push(pair *nkchan.Pair, e *nqe.Element) bool {
 	e.VMID = g.cfg.VMID
 	e.Source = nqe.FromVM
 	g.seq++
 	e.Seq = g.seq
+	// The send-path span opens here: the sampled element carries its
+	// span id in the wire record, and a failed push keeps the id so the
+	// retried element still belongs to the same span (the span then
+	// measures queueing delay too).
+	if tr := g.cfg.Tracer; tr.Enabled() && e.Trace == 0 {
+		e.Trace = tr.Start("tx:" + e.Op.String())
+	}
 	if !pair.VMJob.Push(e) {
 		return false
 	}
-	g.stats.OpsIssued++
+	g.stats.opsIssued.Inc()
+	g.cfg.Tracer.Stamp(e.Trace, "guestlib.enqueue", int64(pair.VMJob.Len()))
 	if pair.KickEngineVM != nil {
 		pair.KickEngineVM()
 	}
@@ -360,7 +410,7 @@ func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte)
 		return fmt.Errorf("guestlib: huge pages exhausted")
 	}
 	s.pair.Pages.Write(chunk, payload)
-	g.stats.TxBytesCopied += uint64(len(payload))
+	g.stats.txBytesCopied.Add(uint64(len(payload)))
 	e := &nqe.Element{
 		Op: nqe.OpSend, FD: fd,
 		DataOff: chunk.Offset, DataLen: uint32(len(payload)),
@@ -370,7 +420,7 @@ func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte)
 		s.pair.Pages.Free(chunk)
 		return fmt.Errorf("guestlib: job queue full")
 	}
-	g.stats.BytesSent += uint64(len(payload))
+	g.stats.bytesSent.Add(uint64(len(payload)))
 	return nil
 }
 
@@ -394,8 +444,8 @@ func (g *GuestLib) RecvFrom(fd int32, buf []byte) (n int, src ipv4.Addr, port ui
 	d := s.dgrams[0]
 	s.dgrams = s.dgrams[1:]
 	n = copy(buf, d.data)
-	g.stats.RxBytesCopied += uint64(n)
-	g.stats.BytesReceived += uint64(n)
+	g.stats.rxBytesCopied.Add(uint64(n))
+	g.stats.bytesReceived.Add(uint64(n))
 	return n, d.src, d.port, true
 }
 
@@ -483,18 +533,18 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 	for len(p) > 0 {
 		if s.credit <= 0 {
 			g.markStalled(s)
-			g.stats.CreditStalls++
+			g.stats.creditStalls.Inc()
 			break
 		}
 		n := min(min(chunkSize, len(p)), s.credit)
 		chunk, ok := s.pair.Pages.Alloc()
 		if !ok {
 			g.markStalled(s)
-			g.stats.CreditStalls++
+			g.stats.creditStalls.Inc()
 			break
 		}
 		s.pair.Pages.Write(chunk, p[:n])
-		g.stats.TxBytesCopied += uint64(n)
+		g.stats.txBytesCopied.Add(uint64(n))
 		e := &nqe.Element{
 			Op: nqe.OpSend, FD: fd,
 			DataOff: chunk.Offset, DataLen: uint32(n),
@@ -514,7 +564,7 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 		total += n
 		p = p[n:]
 	}
-	g.stats.BytesSent += uint64(total)
+	g.stats.bytesSent.Add(uint64(total))
 	return total
 }
 
@@ -537,8 +587,8 @@ func (g *GuestLib) Recv(fd int32, buf []byte) (n int, eof bool) {
 		}
 	}
 	if n > 0 {
-		g.stats.RxBytesCopied += uint64(n)
-		g.stats.BytesReceived += uint64(n)
+		g.stats.rxBytesCopied.Add(uint64(n))
+		g.stats.bytesReceived.Add(uint64(n))
 		// Return receive credit so the NSM keeps reading (§3.2 recv()
 		// "simply checks and copies new data in the VM receive queue").
 		g.push(s.pair, &nqe.Element{Op: nqe.OpRecv, FD: fd, Arg0: uint64(n)})
@@ -608,7 +658,7 @@ func (g *GuestLib) pump(pair *nkchan.Pair) {
 		if n == 0 {
 			break
 		}
-		g.stats.Completions += uint64(n)
+		g.stats.completions.Add(uint64(n))
 		for i := range g.drain[:n] {
 			g.handleCompletion(pair, &g.drain[i])
 		}
@@ -618,7 +668,7 @@ func (g *GuestLib) pump(pair *nkchan.Pair) {
 		if n == 0 {
 			break
 		}
-		g.stats.Events += uint64(n)
+		g.stats.events.Add(uint64(n))
 		for i := range g.drain[:n] {
 			g.handleEvent(pair, &g.drain[i])
 		}
@@ -725,6 +775,9 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 }
 
 func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
+	// A traced receive-path element completes its span on delivery to
+	// the guest — the mirror of the send path's stack-TX end.
+	g.cfg.Tracer.End(e.Trace, "guestlib.deliver")
 	s := g.sockets[e.FD]
 	switch e.Op {
 	case nqe.OpEstablished:
@@ -767,7 +820,7 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
 			// address and the queue is not a byte stream.
 			data := make([]byte, e.DataLen)
 			pair.Pages.Read(shmChunk(e.DataOff), data, int(e.DataLen))
-			g.stats.RxBytesCopied += uint64(e.DataLen)
+			g.stats.rxBytesCopied.Add(uint64(e.DataLen))
 			pair.Pages.Free(shmChunk(e.DataOff))
 			src, port := nqe.UnpackAddr(e.Arg0)
 			s.dgrams = append(s.dgrams, datagram{src: src, port: port, data: data})

@@ -9,6 +9,7 @@ import (
 	"netkernel/internal/nqe"
 	"netkernel/internal/shm"
 	"netkernel/internal/sim"
+	"netkernel/internal/telemetry"
 )
 
 // EngineConfig shapes the CoreEngine's cost model.
@@ -30,6 +31,9 @@ type EngineConfig struct {
 	// elements (§3.2 "batched interrupts"); the queue itself bounds
 	// worst-case latency. Default 64.
 	Batch int
+	// Tracer, when set, stamps traced elements as they cross the
+	// engine ("engine.vm-pump" / "engine.nsm-pump" hops).
+	Tracer *telemetry.Tracer
 }
 
 func (c *EngineConfig) fillDefaults() {
@@ -296,6 +300,9 @@ func (ep *enginePair) translateSlotToNSM(s nqe.Slot) bool {
 		s.SetCID(cid)
 	}
 	ce.stats.Translated++
+	if t := s.Trace(); t != 0 {
+		ce.cfg.Tracer.Stamp(t, "engine.vm-pump", 0)
+	}
 	return true
 }
 
@@ -442,6 +449,9 @@ func (ep *enginePair) translateSlotToVM(s nqe.Slot) bool {
 		s.SetFD(fd)
 	}
 	ce.stats.Translated++
+	if t := s.Trace(); t != 0 {
+		ce.cfg.Tracer.Stamp(t, "engine.nsm-pump", 0)
+	}
 	return true
 }
 
@@ -559,6 +569,8 @@ func (ep *enginePair) freeChunk(e *nqe.Element) {
 	if owns && e.DataLen > 0 {
 		ep.ch.Pages.Free(shm.Chunk{Offset: e.DataOff})
 	}
+	// A discarded element's span will never complete; abandon it.
+	ep.engine.cfg.Tracer.Drop(e.Trace)
 }
 
 func (ep *enginePair) pushToVM(e nqe.Element, completion bool) bool {
@@ -568,4 +580,3 @@ func (ep *enginePair) pushToVM(e nqe.Element, completion bool) bool {
 	}
 	return ep.ch.VMReceive.Push(&e)
 }
-

@@ -7,12 +7,14 @@ import (
 	"netkernel/internal/guestlib"
 	"netkernel/internal/netsim"
 	"netkernel/internal/nkchan"
+	"netkernel/internal/nkqueue"
 	"netkernel/internal/proto/ethernet"
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/sched"
 	"netkernel/internal/servicelib"
 	"netkernel/internal/sim"
 	"netkernel/internal/stack"
+	"netkernel/internal/telemetry"
 	"netkernel/internal/vswitch"
 )
 
@@ -56,6 +58,15 @@ type HostConfig struct {
 	// never wedge it. Zero (the default) keeps the pipeline purely
 	// kick-driven; only fault-injection harnesses set it.
 	StallRecovery time.Duration
+	// Metrics, when set, is the registry every component on this host
+	// publishes into (useful to aggregate several hosts); nil builds a
+	// private one, so Host.Metrics is never nil.
+	Metrics *telemetry.Registry
+	// TraceSampleEvery enables per-nqe span tracing: every Nth
+	// operation entering the pipeline is stamped at each hop (GuestLib
+	// enqueue → engine pump → ServiceLib dispatch → stack TX, and the
+	// mirror receive path). 0, the default, disables tracing.
+	TraceSampleEvery int
 }
 
 // Host is one physical machine: NIC, overlay switch, cores, CoreEngine,
@@ -69,6 +80,14 @@ type Host struct {
 	NIC    *netsim.NIC
 	Switch *vswitch.Switch
 	Engine *CoreEngine
+
+	// Metrics is the host's unified telemetry registry; every layer
+	// registers its counters here under "<instance>.<subsystem>."
+	// prefixes ("vm1.guest.", "nsm2.stack.", "engine.", …).
+	Metrics *telemetry.Registry
+	// Tracer samples per-nqe spans across the pipeline (nil-safe to
+	// use; disabled unless HostConfig.TraceSampleEvery > 0).
+	Tracer *telemetry.Tracer
 
 	vms  map[uint32]*VM
 	nsms map[uint32]*NSM
@@ -100,9 +119,20 @@ func NewHost(cfg HostConfig) *Host {
 		vms:   make(map[uint32]*VM),
 		nsms:  make(map[uint32]*NSM),
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	h.Metrics = cfg.Metrics
+	h.Tracer = telemetry.NewTracer(telemetry.TraceConfig{
+		Clock:       cfg.Clock,
+		SampleEvery: cfg.TraceSampleEvery,
+		Metrics:     h.Metrics.Scope("trace."),
+	})
+	h.cfg.Engine.Tracer = h.Tracer
 	h.NIC = netsim.NewNIC(cfg.Clock, h.newMAC())
 	h.Switch = vswitch.New(cfg.Clock, vswitch.Config{Mode: cfg.SwitchMode})
-	h.Engine = NewCoreEngine(cfg.Clock, cfg.Engine)
+	h.Engine = NewCoreEngine(cfg.Clock, h.cfg.Engine)
+	h.registerHostMetrics()
 
 	// The physical port is one switch port: frames from the wire enter
 	// the switch through it; frames the switch sends out it reach the
@@ -111,6 +141,61 @@ func NewHost(cfg HostConfig) *Host {
 	h.NIC.SetHandler(uplink.Deliver)
 	return h
 }
+
+// registerHostMetrics exposes the host-global counters (CoreEngine,
+// overlay switch) as snapshot-time gauges. EngineStats and
+// vswitch.Stats stay plain value structs (deterministic-replay tests
+// compare them wholesale), so the registry reads them through their
+// copying accessors instead of owning atomics.
+func (h *Host) registerHostMetrics() {
+	eng := h.Metrics.Scope("engine.")
+	eng.GaugeFunc("nqes_vm_to_nsm", func() int64 { return int64(h.Engine.Stats().NqesVMToNSM) })
+	eng.GaugeFunc("nqes_nsm_to_vm", func() int64 { return int64(h.Engine.Stats().NqesNSMToVM) })
+	eng.GaugeFunc("translated", func() int64 { return int64(h.Engine.Stats().Translated) })
+	eng.GaugeFunc("bad_elements", func() int64 { return int64(h.Engine.Stats().BadElements) })
+	eng.GaugeFunc("nsm_resets", func() int64 { return int64(h.Engine.Stats().NSMResets) })
+	eng.GaugeFunc("reset_conns", func() int64 { return int64(h.Engine.Stats().ResetConns) })
+	eng.GaugeFunc("discarded_elements", func() int64 { return int64(h.Engine.Stats().DiscardedElements) })
+	eng.GaugeFunc("mappings", func() int64 { return int64(h.Engine.Mappings()) })
+	sw := h.Metrics.Scope("switch.")
+	sw.GaugeFunc("rx_frames", func() int64 { return int64(h.Switch.Stats().RxFrames) })
+	sw.GaugeFunc("forwarded", func() int64 { return int64(h.Switch.Stats().Forwarded) })
+	sw.GaugeFunc("flooded", func() int64 { return int64(h.Switch.Stats().Flooded) })
+	sw.GaugeFunc("dropped", func() int64 { return int64(h.Switch.Stats().Dropped) })
+	sw.GaugeFunc("learned", func() int64 { return int64(h.Switch.Stats().Learned) })
+	sw.GaugeFunc("aged_out", func() int64 { return int64(h.Switch.Stats().AgedOut) })
+}
+
+// registerPairMetrics publishes one VM↔NSM channel's ring occupancy,
+// push/pop accounting, doorbell activity, and huge-page pool state
+// under "vm<id>.r<replica>.".
+func (h *Host) registerPairMetrics(vmID uint32, replica int, pair *nkchan.Pair) {
+	scope := h.Metrics.Scope(fmt.Sprintf("vm%d.r%d.", vmID, replica))
+	queues := []struct {
+		name string
+		q    nkqueue.Q
+	}{
+		{"vm_job", pair.VMJob}, {"vm_completion", pair.VMCompletion}, {"vm_receive", pair.VMReceive},
+		{"nsm_job", pair.NSMJob}, {"nsm_completion", pair.NSMCompletion}, {"nsm_receive", pair.NSMReceive},
+	}
+	for _, ent := range queues {
+		q := ent.q
+		qs := scope.Child("q." + ent.name + ".")
+		qs.GaugeFunc("depth", func() int64 { return int64(q.Len()) })
+		qs.GaugeFunc("pushed", func() int64 { return int64(q.Pushed()) })
+		qs.GaugeFunc("popped", func() int64 { return int64(q.Popped()) })
+		db := q.Doorbell()
+		qs.GaugeFunc("doorbell_rings", func() int64 { return int64(db.Stats().Rings) })
+		qs.GaugeFunc("doorbell_wakeups", func() int64 { return int64(db.Stats().Wakeups) })
+	}
+	pages := pair.Pages
+	ps := scope.Child("pages.")
+	ps.GaugeFunc("live_refs", func() int64 { return int64(pages.LiveRefs()) })
+	ps.GaugeFunc("free_chunks", func() int64 { return int64(pages.FreeCount()) })
+}
+
+// Snapshot captures every metric registered on the host.
+func (h *Host) Snapshot() telemetry.Snapshot { return h.Metrics.Snapshot() }
 
 // Name returns the host's label.
 func (h *Host) Name() string { return h.cfg.Name }
@@ -239,7 +324,7 @@ type NSM struct {
 // Tenants returns how many VMs the module serves.
 func (n *NSM) Tenants() int { return len(n.Services) }
 
-func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU) stack.Config {
+func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU, metrics *telemetry.Scope) stack.Config {
 	return stack.Config{
 		Clock:             h.clock,
 		RNG:               sim.NewRNG(h.rng.Uint64()),
@@ -253,6 +338,7 @@ func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU) stack.Config {
 		DelayedAckTimeout: h.cfg.DelayedAckTimeout,
 		SendBufSize:       h.cfg.SendBufSize,
 		RecvBufSize:       h.cfg.RecvBufSize,
+		Metrics:           metrics,
 	}
 }
 
@@ -314,7 +400,8 @@ func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
 		ReadyAt: h.clock.Now().Add(prof.BootTime),
 		host:    h,
 	}
-	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu))
+	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu,
+		h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
 	n.attach = h.makeAttachment(func() *stack.Stack { return n.Stack }, ip, spec.SRIOV)
 	n.attach(n.Stack)
 	h.nsms[n.ID] = n
@@ -339,8 +426,11 @@ func (h *Host) RestartNSM(n *NSM) {
 	h.Engine.ResetNSM(n.ID, n.ReadyAt)
 	n.Restarts++
 	h.clock.AfterFunc(n.Profile.BootTime, func() {
+		// Registration is last-wins, so the rebooted stack's counters
+		// take over the module's metric names (restarts zero them).
 		fresh := stack.New(h.stackConfig(
-			fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, n.CC), n.CC, n.CPU))
+			fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, n.CC), n.CC, n.CPU,
+			h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
 		n.attach(fresh)
 		n.Stack = fresh
 		for _, svc := range n.Services {
@@ -373,7 +463,8 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 		// OS ships (CUBIC on Linux, C-TCP on Windows, …).
 		vm.Legacy = stack.New(h.stackConfig(
 			fmt.Sprintf("%s/vm%d-%s", h.cfg.Name, vm.ID, cfg.Name),
-			cfg.Profile.DefaultCC(), h.CPU))
+			cfg.Profile.DefaultCC(), h.CPU,
+			h.Metrics.Scope(fmt.Sprintf("vm%d.stack.", vm.ID))))
 		h.attachStack(vm.Legacy, cfg.IP, false)
 
 	case ModeNetKernel:
@@ -418,7 +509,10 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 				Shaper:        shaper,
 				RecvWindow:    h.cfg.ShmWindow,
 				StallRecovery: h.cfg.StallRecovery,
+				Metrics:       h.Metrics.Scope(fmt.Sprintf("vm%d.r%d.svc.", vm.ID, r)),
+				Tracer:        h.Tracer,
 			})
+			h.registerPairMetrics(vm.ID, r, pair)
 			nsm.Services = append(nsm.Services, svc)
 			if vm.Service == nil {
 				vm.Service = svc
@@ -434,6 +528,8 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 			Pairs:         pairs,
 			SendCredit:    credit,
 			StallRecovery: h.cfg.StallRecovery,
+			Metrics:       h.Metrics.Scope(fmt.Sprintf("vm%d.guest.", vm.ID)),
+			Tracer:        h.Tracer,
 		})
 
 	default:
@@ -546,4 +642,16 @@ func (vm *VM) CopyReport() CopyReport {
 		r.TCPRxCopied += st.TCPCopiedRx
 	}
 	return r
+}
+
+// Snapshot captures this VM's slice of the host registry: its GuestLib
+// counters, per-replica ServiceLib and channel metrics, and each
+// attached NSM's stack (which also serves any co-tenants sharing the
+// module).
+func (vm *VM) Snapshot() telemetry.Snapshot {
+	prefixes := []string{fmt.Sprintf("vm%d.", vm.ID)}
+	for _, n := range vm.NSMs {
+		prefixes = append(prefixes, fmt.Sprintf("nsm%d.", n.ID))
+	}
+	return vm.host.Metrics.Snapshot().Filter(prefixes...)
 }

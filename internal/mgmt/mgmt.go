@@ -21,6 +21,7 @@ import (
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/sim"
 	"netkernel/internal/stack"
+	"netkernel/internal/telemetry"
 )
 
 // MeshNode is one probe endpoint: a stack the provider controls (an
@@ -207,6 +208,17 @@ func NewThroughputSLA(clock sim.Clock, name string, targetBps float64, window ti
 		window = time.Second
 	}
 	return &ThroughputSLA{clock: clock, name: name, targetBps: targetBps, window: window, sample: sample}
+}
+
+// NewRegistrySLA builds a tracker that samples a cumulative byte
+// counter straight out of the host telemetry registry by metric name
+// (e.g. "vm1.r0.svc.data_in" for a tenant's egress), replacing
+// hand-fed sample closures. An unregistered metric samples as 0,
+// which reads as idle windows, not violations.
+func NewRegistrySLA(clock sim.Clock, reg *telemetry.Registry, metric, name string, targetBps float64, window time.Duration) *ThroughputSLA {
+	return NewThroughputSLA(clock, name, targetBps, window, func() uint64 {
+		return reg.CounterValue(metric)
+	})
 }
 
 // Start begins sampling.

@@ -13,6 +13,7 @@ package nkqueue
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"netkernel/internal/nqe"
 	"netkernel/internal/shm"
@@ -49,6 +50,14 @@ type Q interface {
 	PushSpan(span []byte) int
 	// Len returns the number of queued elements.
 	Len() int
+	// Pushed returns the total elements ever enqueued. The counter is
+	// maintained at this API layer, independently of the ring's
+	// head/tail cursors, so the telemetry conservation invariant
+	// Pushed() == Popped() + Len() cross-checks the queue accounting
+	// against the ring state instead of restating it.
+	Pushed() uint64
+	// Popped returns the total elements ever dequeued.
+	Popped() uint64
 	// Flush delivers any coalesced doorbell wakeups.
 	Flush()
 	// Doorbell returns the queue's consumer-wakeup doorbell.
@@ -82,9 +91,11 @@ func (c Config) slots() int {
 
 // Queue is a plain single-ring queue of nqes.
 type Queue struct {
-	ring  *shm.Ring
-	db    *shm.Doorbell
-	stall func() bool
+	ring   *shm.Ring
+	db     *shm.Doorbell
+	stall  func() bool
+	pushed atomic.Uint64
+	popped atomic.Uint64
 }
 
 // SetPushStall implements Q.
@@ -114,6 +125,7 @@ func (q *Queue) Push(e *nqe.Element) bool {
 	}
 	e.Encode(slot)
 	q.ring.Commit()
+	q.pushed.Add(1)
 	q.db.Ring()
 	return true
 }
@@ -126,6 +138,7 @@ func (q *Queue) Pop(e *nqe.Element) bool {
 	}
 	e.Decode(slot)
 	q.ring.Release()
+	q.popped.Add(1)
 	return true
 }
 
@@ -149,6 +162,7 @@ func (q *Queue) PushBatch(es []nqe.Element) int {
 		pushed += n
 	}
 	if pushed > 0 {
+		q.pushed.Add(uint64(pushed))
 		q.db.RingN(pushed)
 	}
 	return pushed
@@ -171,6 +185,9 @@ func (q *Queue) PopBatch(dst []nqe.Element) int {
 		q.ring.ReleaseN(got)
 		n += got
 	}
+	if n > 0 {
+		q.popped.Add(uint64(n))
+	}
 	return n
 }
 
@@ -178,7 +195,10 @@ func (q *Queue) PopBatch(dst []nqe.Element) int {
 func (q *Queue) FrontSpan(max int) ([]byte, int) { return q.ring.FrontN(max) }
 
 // ReleaseSpan implements Q.
-func (q *Queue) ReleaseSpan(n int) { q.ring.ReleaseN(n) }
+func (q *Queue) ReleaseSpan(n int) {
+	q.ring.ReleaseN(n)
+	q.popped.Add(uint64(n))
+}
 
 // PushSpan implements Q: whole spans of raw slots transfer with a
 // single copy per contiguous run and one doorbell ring.
@@ -198,6 +218,7 @@ func (q *Queue) PushSpan(span []byte) int {
 		pushed += n
 	}
 	if pushed > 0 {
+		q.pushed.Add(uint64(pushed))
 		q.db.RingN(pushed)
 	}
 	return pushed
@@ -205,6 +226,12 @@ func (q *Queue) PushSpan(span []byte) int {
 
 // Len implements Q.
 func (q *Queue) Len() int { return q.ring.Len() }
+
+// Pushed implements Q.
+func (q *Queue) Pushed() uint64 { return q.pushed.Load() }
+
+// Popped implements Q.
+func (q *Queue) Popped() uint64 { return q.popped.Load() }
 
 // Flush implements Q.
 func (q *Queue) Flush() { q.db.Flush() }
@@ -241,6 +268,8 @@ func MoveBatch(dst, src *Queue, max int) int {
 		moved += nd
 	}
 	if moved > 0 {
+		dst.pushed.Add(uint64(moved))
+		src.popped.Add(uint64(moved))
 		dst.db.RingN(moved)
 	}
 	return moved
@@ -305,6 +334,7 @@ func (p *PriorityQueue) PushBatch(es []nqe.Element) int {
 		return 0
 	}
 	pushed := 0
+	var toHi, toLo uint64
 	for ; pushed < len(es); pushed++ {
 		e := &es[pushed]
 		target := p.lo
@@ -317,8 +347,15 @@ func (p *PriorityQueue) PushBatch(es []nqe.Element) int {
 		}
 		e.Encode(slot)
 		target.ring.Commit()
+		if target == p.hi {
+			toHi++
+		} else {
+			toLo++
+		}
 	}
 	if pushed > 0 {
+		p.hi.pushed.Add(toHi)
+		p.lo.pushed.Add(toLo)
 		p.db.RingN(pushed)
 	}
 	return pushed
@@ -354,6 +391,7 @@ func (p *PriorityQueue) FrontSpan(max int) ([]byte, int) {
 func (p *PriorityQueue) ReleaseSpan(n int) {
 	if p.spanFrom != nil {
 		p.spanFrom.ring.ReleaseN(n)
+		p.spanFrom.popped.Add(uint64(n))
 	}
 }
 
@@ -366,6 +404,7 @@ func (p *PriorityQueue) PushSpan(span []byte) int {
 	}
 	total := len(span) / nqe.Size
 	pushed := 0
+	var toHi, toLo uint64
 	for ; pushed < total; pushed++ {
 		rec := span[pushed*nqe.Size : (pushed+1)*nqe.Size]
 		target := p.lo
@@ -378,8 +417,15 @@ func (p *PriorityQueue) PushSpan(span []byte) int {
 		}
 		copy(slot, rec)
 		target.ring.Commit()
+		if target == p.hi {
+			toHi++
+		} else {
+			toLo++
+		}
 	}
 	if pushed > 0 {
+		p.hi.pushed.Add(toHi)
+		p.lo.pushed.Add(toLo)
 		p.db.RingN(pushed)
 	}
 	return pushed
@@ -387,6 +433,12 @@ func (p *PriorityQueue) PushSpan(span []byte) int {
 
 // Len implements Q.
 func (p *PriorityQueue) Len() int { return p.hi.Len() + p.lo.Len() }
+
+// Pushed implements Q (sum over both rings).
+func (p *PriorityQueue) Pushed() uint64 { return p.hi.Pushed() + p.lo.Pushed() }
+
+// Popped implements Q (sum over both rings).
+func (p *PriorityQueue) Popped() uint64 { return p.hi.Popped() + p.lo.Popped() }
 
 // Flush implements Q.
 func (p *PriorityQueue) Flush() { p.db.Flush() }

@@ -181,6 +181,13 @@ type Element struct {
 	DataOff uint64
 	DataLen uint32
 
+	// Trace is the telemetry span id riding with the element (0 =
+	// untraced). Each layer that moves a traced element stamps a hop
+	// against this id, so an end-to-end latency breakdown needs no
+	// side-band correlation — the id lives in the former pad bytes at
+	// offset 44 and costs nothing on the wire.
+	Trace uint32
+
 	// Operation-specific arguments (addresses, options, backlogs…).
 	Arg0 uint64
 	Arg1 uint64
@@ -190,7 +197,7 @@ type Element struct {
 //
 //	off  0: Op(1) Flags(1) Source(1) pad(1)
 //	off  4: VMID(4) NSMID(4) FD(4) CID(4) Status(4)
-//	off 24: Seq(8) DataOff(8) DataLen(4) pad(4)
+//	off 24: Seq(8) DataOff(8) DataLen(4) Trace(4)
 //	off 48: Arg0(8) Arg1(8)
 const (
 	offOp      = 0
@@ -204,6 +211,7 @@ const (
 	offSeq     = 24
 	offDataOff = 32
 	offDataLen = 40
+	offTrace   = 44
 	offArg0    = 48
 	offArg1    = 56
 )
@@ -223,7 +231,7 @@ func (e *Element) Encode(dst []byte) {
 	binary.LittleEndian.PutUint64(dst[offSeq:], e.Seq)
 	binary.LittleEndian.PutUint64(dst[offDataOff:], e.DataOff)
 	binary.LittleEndian.PutUint32(dst[offDataLen:], e.DataLen)
-	binary.LittleEndian.PutUint32(dst[44:], 0)
+	binary.LittleEndian.PutUint32(dst[offTrace:], e.Trace)
 	binary.LittleEndian.PutUint64(dst[offArg0:], e.Arg0)
 	binary.LittleEndian.PutUint64(dst[offArg1:], e.Arg1)
 }
@@ -242,6 +250,7 @@ func (e *Element) Decode(src []byte) {
 	e.Seq = binary.LittleEndian.Uint64(src[offSeq:])
 	e.DataOff = binary.LittleEndian.Uint64(src[offDataOff:])
 	e.DataLen = binary.LittleEndian.Uint32(src[offDataLen:])
+	e.Trace = binary.LittleEndian.Uint32(src[offTrace:])
 	e.Arg0 = binary.LittleEndian.Uint64(src[offArg0:])
 	e.Arg1 = binary.LittleEndian.Uint64(src[offArg1:])
 }
@@ -310,6 +319,12 @@ func (s Slot) DataOff() uint64 { return binary.LittleEndian.Uint64(s[offDataOff:
 
 // DataLen returns the data descriptor's length without a full decode.
 func (s Slot) DataLen() uint32 { return binary.LittleEndian.Uint32(s[offDataLen:]) }
+
+// Trace returns the telemetry span id (0 = untraced).
+func (s Slot) Trace() uint32 { return binary.LittleEndian.Uint32(s[offTrace:]) }
+
+// SetTrace patches the telemetry span id in place.
+func (s Slot) SetTrace(v uint32) { binary.LittleEndian.PutUint32(s[offTrace:], v) }
 
 // Arg1 returns the second operation argument.
 func (s Slot) Arg1() uint64 { return binary.LittleEndian.Uint64(s[offArg1:]) }

@@ -7,6 +7,7 @@ import (
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/sim"
 	"netkernel/internal/tcpcc"
+	"netkernel/internal/telemetry"
 )
 
 // State is a TCP connection state (RFC 793 §3.2).
@@ -89,8 +90,13 @@ type Config struct {
 	// CopiedTx and CopiedRx, when non-nil, aggregate the connection's
 	// payload memcpy counters into a stack-wide ledger that survives
 	// connection teardown. The copy-budget accounting (DESIGN.md §8)
-	// reads them; they have no effect on the datapath.
-	CopiedTx, CopiedRx *uint64
+	// reads them; they have no effect on the datapath. Atomic because
+	// the ledger is read by management-plane snapshots on other
+	// goroutines while connections run.
+	CopiedTx, CopiedRx *telemetry.Counter
+	// Retrans, when non-nil, aggregates retransmitted segments into the
+	// same kind of stack-wide cumulative ledger.
+	Retrans *telemetry.Counter
 }
 
 func (c *Config) fillDefaults() {
@@ -749,7 +755,7 @@ func (c *Conn) countCopyTx(n int) {
 	}
 	c.stats.TxBytesCopied += uint64(n)
 	if c.cfg.CopiedTx != nil {
-		*c.cfg.CopiedTx += uint64(n)
+		c.cfg.CopiedTx.Add(uint64(n))
 	}
 }
 
@@ -759,7 +765,7 @@ func (c *Conn) countCopyRx(n int) {
 	}
 	c.stats.RxBytesCopied += uint64(n)
 	if c.cfg.CopiedRx != nil {
-		*c.cfg.CopiedRx += uint64(n)
+		c.cfg.CopiedRx.Add(uint64(n))
 	}
 }
 

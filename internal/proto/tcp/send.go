@@ -322,6 +322,9 @@ func (c *Conn) retransmitFront() {
 // retransmitSeg resends one tracked segment.
 func (c *Conn) retransmitSeg(s *segMeta) {
 	c.stats.Retransmits++
+	if c.cfg.Retrans != nil {
+		c.cfg.Retrans.Inc()
+	}
 	s.retransmitted = true
 	s.sentAt = c.cfg.Clock.Now()
 	if s.fin && s.length == 0 {

@@ -25,6 +25,7 @@ import (
 	"netkernel/internal/shm"
 	"netkernel/internal/sim"
 	"netkernel/internal/stack"
+	"netkernel/internal/telemetry"
 )
 
 // Config parameterizes a ServiceLib.
@@ -56,9 +57,15 @@ type Config struct {
 	// zero; fault-injection harnesses set it so an injected stall can
 	// delay emissions but never wedge the module.
 	StallRecovery time.Duration
+	// Metrics, when set, publishes the ServiceLib counters into the
+	// host telemetry registry (e.g. "vm1.r0.svc.data_in").
+	Metrics *telemetry.Scope
+	// Tracer, when set and sampling, opens receive-path spans for
+	// emitted events and stamps/ends send-path spans arriving in jobs.
+	Tracer *telemetry.Tracer
 }
 
-// Stats counts ServiceLib activity.
+// Stats is a point-in-time copy of the ServiceLib counters.
 type Stats struct {
 	JobsProcessed uint64
 	DataIn        uint64 // bytes VM→NSM (sends)
@@ -73,10 +80,45 @@ type Stats struct {
 	RxBytesCopied uint64
 }
 
+// counters is the live atomic form of Stats: management-plane readers
+// (VM.CopyReport, registry snapshots) may run on another goroutine
+// while the module pumps under a wall-clock domain.
+type counters struct {
+	jobsProcessed, dataIn, dataOut telemetry.Counter
+	conns, accepts                 telemetry.Counter
+	txBytesCopied, rxBytesCopied   telemetry.Counter
+}
+
+func (c *counters) register(m *telemetry.Scope) {
+	m.Counter("jobs_processed", &c.jobsProcessed)
+	m.Counter("data_in", &c.dataIn)
+	m.Counter("data_out", &c.dataOut)
+	m.Counter("conns", &c.conns)
+	m.Counter("accepts", &c.accepts)
+	m.Counter("tx_bytes_copied", &c.txBytesCopied)
+	m.Counter("rx_bytes_copied", &c.rxBytesCopied)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		JobsProcessed: c.jobsProcessed.Load(),
+		DataIn:        c.dataIn.Load(),
+		DataOut:       c.dataOut.Load(),
+		Conns:         c.conns.Load(),
+		Accepts:       c.accepts.Load(),
+		TxBytesCopied: c.txBytesCopied.Load(),
+		RxBytesCopied: c.rxBytesCopied.Load(),
+	}
+}
+
 type sendChunk struct {
 	chunk shm.Chunk
 	size  int
 	off   int
+	// trace carries the job element's span id so the span can end at
+	// the stack hand-off, however long the chunk queues behind the
+	// shaper or a full send buffer.
+	trace uint32
 }
 
 type connState struct {
@@ -109,7 +151,7 @@ type ServiceLib struct {
 	conns     map[uint32]*connState
 	listeners map[uint32]*listenerState
 	nextCID   uint32
-	stats     Stats
+	stats     counters
 	// overflow holds emissions that found their ring full; they are
 	// flushed in order on the next pump, so a data flood can delay but
 	// never lose a completion or connection event.
@@ -147,12 +189,13 @@ func New(cfg Config) *ServiceLib {
 		listeners: make(map[uint32]*listenerState),
 		drain:     make([]nqe.Element, 64),
 	}
+	s.stats.register(cfg.Metrics)
 	cfg.Pair.KickNSM = s.pump
 	return s
 }
 
-// Stats returns a copy of the counters.
-func (s *ServiceLib) Stats() Stats { return s.stats }
+// Stats returns a copy of the counters, read atomically.
+func (s *ServiceLib) Stats() Stats { return s.stats.snapshot() }
 
 // CC returns the module's congestion-control name.
 func (s *ServiceLib) CC() string { return s.cfg.CC }
@@ -166,6 +209,15 @@ func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
 	target := s.cfg.Pair.NSMReceive
 	if q == nkchan.Completion {
 		target = s.cfg.Pair.NSMCompletion
+	}
+	// The receive-path span opens here, the mirror of GuestLib.push:
+	// sampled events carry their span id toward the VM. Completions are
+	// responses to send-path spans and are not separately traced.
+	if q == nkchan.Receive {
+		if tr := s.cfg.Tracer; tr.Enabled() && e.Trace == 0 {
+			e.Trace = tr.Start("rx:" + e.Op.String())
+		}
+		s.cfg.Tracer.Stamp(e.Trace, "servicelib.emit", int64(target.Len()))
 	}
 	if len(s.overflow) > 0 || !target.Push(e) {
 		s.overflow = append(s.overflow, stalledEmit{kind: q, e: *e})
@@ -232,7 +284,7 @@ func (s *ServiceLib) pump() {
 		if n == 0 {
 			break
 		}
-		s.stats.JobsProcessed += uint64(n)
+		s.stats.jobsProcessed.Add(uint64(n))
 		for i := range s.drain[:n] {
 			s.handleJob(&s.drain[i])
 		}
@@ -251,6 +303,15 @@ func (s *ServiceLib) pump() {
 }
 
 func (s *ServiceLib) handleJob(e *nqe.Element) {
+	if e.Trace != 0 {
+		// Send spans stay open until the payload reaches the stack in
+		// pumpSend; every other op's span ends at dispatch.
+		if e.Op == nqe.OpSend {
+			s.cfg.Tracer.Stamp(e.Trace, "servicelib.dispatch", 0)
+		} else {
+			s.cfg.Tracer.End(e.Trace, "servicelib.dispatch")
+		}
+	}
 	switch e.Op {
 	case nqe.OpSocket:
 		s.nextCID++
@@ -271,6 +332,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 		cs := s.conns[e.CID]
 		if cs == nil {
 			s.cfg.Pair.Pages.Free(shm.Chunk{Offset: e.DataOff})
+			s.cfg.Tracer.Drop(e.Trace)
 			return
 		}
 		if cs.isDgram {
@@ -279,19 +341,21 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 			chunk := shm.Chunk{Offset: e.DataOff}
 			payload := make([]byte, e.DataLen)
 			s.cfg.Pair.Pages.Read(chunk, payload, int(e.DataLen))
-			s.stats.TxBytesCopied += uint64(e.DataLen)
+			s.stats.txBytesCopied.Add(uint64(e.DataLen))
 			s.cfg.Pair.Pages.Free(chunk)
 			if cs.udp == nil {
+				s.cfg.Tracer.Drop(e.Trace)
 				s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, Status: nqe.StatusNotConnected})
 				return
 			}
 			ip, port := nqe.UnpackAddr(e.Arg0)
 			_ = cs.udp.SendTo(ip, port, payload)
-			s.stats.DataIn += uint64(e.DataLen)
+			s.stats.dataIn.Add(uint64(e.DataLen))
+			s.cfg.Tracer.End(e.Trace, "stack.tx")
 			s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, DataLen: e.DataLen, Status: nqe.StatusOK})
 			return
 		}
-		cs.sendQ = append(cs.sendQ, sendChunk{chunk: shm.Chunk{Offset: e.DataOff}, size: int(e.DataLen)})
+		cs.sendQ = append(cs.sendQ, sendChunk{chunk: shm.Chunk{Offset: e.DataOff}, size: int(e.DataLen), trace: e.Trace})
 		s.pumpSend(cs)
 
 	case nqe.OpRecv:
@@ -372,7 +436,7 @@ func (s *ServiceLib) handleConnect(e *nqe.Element) {
 	}
 	cs.conn = conn
 	conn.SetReceiveSink(s.makeSink(cs))
-	s.stats.Conns++
+	s.stats.conns.Inc()
 }
 
 func (s *ServiceLib) handleListen(e *nqe.Element) {
@@ -416,8 +480,8 @@ func (s *ServiceLib) handleBind(e *nqe.Element) {
 			return // pool exhausted; drop (UDP semantics)
 		}
 		s.cfg.Pair.Pages.Write(chunk, data)
-		s.stats.RxBytesCopied += uint64(len(data))
-		s.stats.DataOut += uint64(len(data))
+		s.stats.rxBytesCopied.Add(uint64(len(data)))
+		s.stats.dataOut.Add(uint64(len(data)))
 		s.emit(nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewData, CID: cid,
 			DataOff: chunk.Offset, DataLen: uint32(len(data)),
@@ -451,7 +515,7 @@ func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
 			func(err error) { s.connClosed(cid, err) },
 		)
 		conn.SetReceiveSink(s.makeSink(cs))
-		s.stats.Accepts++
+		s.stats.accepts.Inc()
 		remote := conn.RemoteAddr()
 		s.emit(nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewConn, CID: ls.cid,
@@ -519,7 +583,7 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 			return
 		}
 		cs.recvDebt += n
-		s.stats.DataOut += uint64(n)
+		s.stats.dataOut.Add(uint64(n))
 		s.emit(nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewData, CID: cid,
 			DataOff: chunk.Offset, DataLen: uint32(n),
@@ -556,7 +620,7 @@ func (s *ServiceLib) sinkData(cs *connState, p []byte) int {
 		cs.rxFill += n
 		consumed += n
 		p = p[n:]
-		s.stats.RxBytesCopied += uint64(n)
+		s.stats.rxBytesCopied.Add(uint64(n))
 		if cs.rxFill == chunkSize {
 			s.emitRxChunk(cs)
 		}
@@ -574,7 +638,7 @@ func (s *ServiceLib) emitRxChunk(cs *connState) {
 		return
 	}
 	cs.recvDebt += cs.rxFill
-	s.stats.DataOut += uint64(cs.rxFill)
+	s.stats.dataOut.Add(uint64(cs.rxFill))
 	s.emit(nkchan.Receive, &nqe.Element{
 		Op: nqe.OpNewData, CID: cs.cid,
 		DataOff: cs.rxChunk.Offset, DataLen: uint32(cs.rxFill),
@@ -640,7 +704,8 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 				}
 				return // send buffer full (or conn closing); OnWritable resumes
 			}
-			s.stats.DataIn += uint64(head.size)
+			s.stats.dataIn.Add(uint64(head.size))
+			s.cfg.Tracer.End(head.trace, "stack.tx")
 			pages.Free(chunk) // the queue's reference; the span keeps its own
 			s.emit(nkchan.Completion, &nqe.Element{
 				Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
@@ -656,10 +721,11 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 			s.cfg.Shaper.Refund(len(data) - n)
 		}
 		head.off += n
-		s.stats.DataIn += uint64(n)
+		s.stats.dataIn.Add(uint64(n))
 		if head.off < head.size {
 			return // socket buffer full; OnWritable resumes
 		}
+		s.cfg.Tracer.End(head.trace, "stack.tx")
 		pages.Free(head.chunk)
 		s.emit(nkchan.Completion, &nqe.Element{
 			Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
@@ -684,6 +750,7 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 	// conn as spans are released by the conn's own teardown.)
 	for _, c := range cs.sendQ {
 		s.cfg.Pair.Pages.Free(c.chunk)
+		s.cfg.Tracer.Drop(c.trace)
 	}
 	cs.sendQ = nil
 	// deliverData flushed the open receive chunk if it held bytes; an
@@ -712,6 +779,7 @@ func (s *ServiceLib) Crash() {
 		cs := s.conns[cid]
 		for _, c := range cs.sendQ {
 			s.cfg.Pair.Pages.Free(c.chunk)
+			s.cfg.Tracer.Drop(c.trace)
 		}
 		cs.sendQ = nil
 		if cs.rxHave {
@@ -729,6 +797,7 @@ func (s *ServiceLib) Crash() {
 		if se.e.Op == nqe.OpNewData && se.e.DataLen > 0 {
 			s.cfg.Pair.Pages.Free(shm.Chunk{Offset: se.e.DataOff})
 		}
+		s.cfg.Tracer.Drop(se.e.Trace)
 	}
 	s.overflow = nil
 	s.conns = make(map[uint32]*connState)

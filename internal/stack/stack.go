@@ -22,6 +22,7 @@ import (
 	"netkernel/internal/proto/tcp"
 	"netkernel/internal/sim"
 	"netkernel/internal/tcpcc"
+	"netkernel/internal/telemetry"
 )
 
 // Config parameterizes a stack.
@@ -54,6 +55,12 @@ type Config struct {
 	SendBufSize       int
 	RecvBufSize       int
 	TTL               uint8
+
+	// Metrics, when set, publishes every stack counter into the host
+	// telemetry registry under the scope's prefix (e.g.
+	// "nsm2.stack.frames_in"). The counters exist and update either
+	// way; the scope only names them.
+	Metrics *telemetry.Scope
 }
 
 func (c *Config) fillDefaults() {
@@ -65,7 +72,7 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Stats counts stack-level activity.
+// Stats is a point-in-time copy of the stack counters.
 type Stats struct {
 	FramesIn, FramesOut   uint64
 	IPIn, IPOut           uint64
@@ -81,6 +88,64 @@ type Stats struct {
 	// including ones already torn down (the per-conn Stats die with the
 	// conn; the copy-budget accounting needs the cumulative view).
 	TCPCopiedTx, TCPCopiedRx uint64
+	// TCPRetransmits aggregates every hosted connection's retransmitted
+	// segments (RTO and fast retransmit), cumulatively like the copy
+	// ledger.
+	TCPRetransmits uint64
+}
+
+// counters is the live, atomically updated form of Stats. The stack's
+// frame path runs on netsim CPU cores and its counters are read by
+// management-plane callers (VM.CopyReport, Snapshot) that may sit on a
+// different goroutine under a wall-clock domain, so every hot-path
+// counter is an atomic telemetry.Counter rather than a plain field.
+type counters struct {
+	framesIn, framesOut      telemetry.Counter
+	ipIn, ipOut              telemetry.Counter
+	tcpSegsIn, udpIn         telemetry.Counter
+	icmpIn                   telemetry.Counter
+	droppedNoRoute           telemetry.Counter
+	droppedBadPacket         telemetry.Counter
+	droppedNoSocket          telemetry.Counter
+	droppedDead              telemetry.Counter
+	arpRequests, arpReply    telemetry.Counter
+	tcpCopiedTx, tcpCopiedRx telemetry.Counter
+	tcpRetransmits           telemetry.Counter
+}
+
+func (c *counters) register(m *telemetry.Scope) {
+	m.Counter("frames_in", &c.framesIn)
+	m.Counter("frames_out", &c.framesOut)
+	m.Counter("ip_in", &c.ipIn)
+	m.Counter("ip_out", &c.ipOut)
+	m.Counter("tcp_segs_in", &c.tcpSegsIn)
+	m.Counter("udp_in", &c.udpIn)
+	m.Counter("icmp_in", &c.icmpIn)
+	m.Counter("dropped_no_route", &c.droppedNoRoute)
+	m.Counter("dropped_bad_packet", &c.droppedBadPacket)
+	m.Counter("dropped_no_socket", &c.droppedNoSocket)
+	m.Counter("dropped_dead", &c.droppedDead)
+	m.Counter("arp_requests", &c.arpRequests)
+	m.Counter("arp_replies", &c.arpReply)
+	m.Counter("tcp_copied_tx", &c.tcpCopiedTx)
+	m.Counter("tcp_copied_rx", &c.tcpCopiedRx)
+	m.Counter("tcp_retransmits", &c.tcpRetransmits)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		FramesIn: c.framesIn.Load(), FramesOut: c.framesOut.Load(),
+		IPIn: c.ipIn.Load(), IPOut: c.ipOut.Load(),
+		TCPSegsIn: c.tcpSegsIn.Load(), UDPIn: c.udpIn.Load(),
+		ICMPIn:           c.icmpIn.Load(),
+		DroppedNoRoute:   c.droppedNoRoute.Load(),
+		DroppedBadPacket: c.droppedBadPacket.Load(),
+		DroppedNoSocket:  c.droppedNoSocket.Load(),
+		DroppedDead:      c.droppedDead.Load(),
+		ARPRequests:      c.arpRequests.Load(), ARPReply: c.arpReply.Load(),
+		TCPCopiedTx: c.tcpCopiedTx.Load(), TCPCopiedRx: c.tcpCopiedRx.Load(),
+		TCPRetransmits: c.tcpRetransmits.Load(),
+	}
 }
 
 // Stack is one host's network stack.
@@ -101,7 +166,7 @@ type Stack struct {
 	nextPing uint16
 	gateway  ipv4.Addr
 	maskBits int
-	stats    Stats
+	stats    counters
 
 	flowCore map[uint32]int // RoundRobinCores assignment table
 	nextCore int
@@ -147,6 +212,7 @@ func New(cfg Config) *Stack {
 		flowCore:  make(map[uint32]int),
 	}
 	s.arpCache.Request = s.sendARPRequest
+	s.stats.register(cfg.Metrics)
 	return s
 }
 
@@ -175,8 +241,9 @@ func (s *Stack) AttachInterface(mac ethernet.MAC, ip ipv4.Addr, mtu, maskBits in
 // Interface returns the attached interface (nil before AttachInterface).
 func (s *Stack) Interface() *Iface { return s.iface }
 
-// Stats returns a copy of the stack counters.
-func (s *Stack) Stats() Stats { return s.stats }
+// Stats returns a copy of the stack counters, read atomically — safe
+// to call from any goroutine while the data path runs.
+func (s *Stack) Stats() Stats { return s.stats.snapshot() }
 
 // Name returns the stack's label.
 func (s *Stack) Name() string { return s.cfg.Name }
@@ -225,9 +292,9 @@ func (s *Stack) nextHop(dst ipv4.Addr) (ipv4.Addr, error) {
 // DeliverFrame is the interface's receive entry point; wire it to the
 // NIC/VF handler. Processing is charged to the configured CPU.
 func (s *Stack) DeliverFrame(frame []byte) {
-	s.stats.FramesIn++
+	s.stats.framesIn.Inc()
 	if s.dead {
-		s.stats.DroppedDead++
+		s.stats.droppedDead.Inc()
 		return
 	}
 	if s.cfg.CPU == nil || s.cfg.PerPacketCost <= 0 {
@@ -273,7 +340,7 @@ func rssHash(frame []byte) uint32 {
 func (s *Stack) processFrame(frame []byte) {
 	eh, payload, err := ethernet.Parse(frame)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
 	if eh.Dst != s.iface.MAC && !eh.Dst.IsBroadcast() {
@@ -285,20 +352,20 @@ func (s *Stack) processFrame(frame []byte) {
 	case ethernet.TypeIPv4:
 		s.processIPv4(payload)
 	default:
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 	}
 }
 
 func (s *Stack) processARP(pkt []byte) {
 	p, err := arp.Parse(pkt)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
 	// Opportunistic learning.
 	s.arpCache.Learn(p.SenderIP, p.SenderMAC)
 	if p.Op == arp.OpRequest && p.TargetIP == s.iface.IP {
-		s.stats.ARPReply++
+		s.stats.arpReply.Inc()
 		reply := arp.Packet{
 			Op:        arp.OpReply,
 			SenderMAC: s.iface.MAC,
@@ -319,13 +386,13 @@ func marshalARP(p *arp.Packet) []byte {
 func (s *Stack) processIPv4(pkt []byte) {
 	h, payload, err := ipv4.Parse(pkt)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
 	if h.Dst != s.iface.IP {
 		return // we are a host, not a router
 	}
-	s.stats.IPIn++
+	s.stats.ipIn.Inc()
 	full, done := s.reasm.Add(h, payload, s.cfg.Clock.Now())
 	if !done {
 		return
@@ -339,7 +406,7 @@ func (s *Stack) processIPv4(pkt []byte) {
 	case ipv4.ProtoICMP:
 		s.processICMP(h.Src, full)
 	default:
-		s.stats.DroppedNoSocket++
+		s.stats.droppedNoSocket.Inc()
 	}
 }
 
@@ -352,7 +419,7 @@ func (s *Stack) sendEthernet(dst ethernet.MAC, typ ethernet.EtherType, payload [
 	eh := ethernet.Header{Dst: dst, Src: s.iface.MAC, Type: typ}
 	eh.Marshal(frame)
 	copy(frame[ethernet.HeaderLen:], payload)
-	s.stats.FramesOut++
+	s.stats.framesOut.Inc()
 	if s.cfg.CPU != nil && s.cfg.PerPacketCost > 0 {
 		s.cfg.CPU.Dispatch(s.coreFor(rssHash(frame)), s.cfg.PerPacketCost, func() { s.iface.tx(frame) })
 		return
@@ -365,7 +432,7 @@ func (s *Stack) sendEthernet(dst ethernet.MAC, typ ethernet.EtherType, payload [
 func (s *Stack) sendIPv4(dst ipv4.Addr, proto uint8, tos uint8, payload []byte) error {
 	hop, err := s.nextHop(dst)
 	if err != nil {
-		s.stats.DroppedNoRoute++
+		s.stats.droppedNoRoute.Inc()
 		return err
 	}
 	s.ipID++
@@ -381,7 +448,7 @@ func (s *Stack) sendIPv4(dst ipv4.Addr, proto uint8, tos uint8, payload []byte) 
 	if err != nil {
 		return fmt.Errorf("stack %s: %w", s.cfg.Name, err)
 	}
-	s.stats.IPOut += uint64(len(pkts))
+	s.stats.ipOut.Add(uint64(len(pkts)))
 
 	send := func(mac ethernet.MAC) {
 		for _, p := range pkts {
@@ -399,7 +466,7 @@ func (s *Stack) sendIPv4(dst ipv4.Addr, proto uint8, tos uint8, payload []byte) 
 }
 
 func (s *Stack) sendARPRequest(target ipv4.Addr) {
-	s.stats.ARPRequests++
+	s.stats.arpRequests.Inc()
 	req := arp.Packet{
 		Op:        arp.OpRequest,
 		SenderMAC: s.iface.MAC,

@@ -53,10 +53,10 @@ func (s *Stack) Ping(dst ipv4.Addr, payload []byte, timeout time.Duration, cb fu
 func (s *Stack) processICMP(src ipv4.Addr, pkt []byte) {
 	m, err := icmp.Parse(pkt)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
-	s.stats.ICMPIn++
+	s.stats.icmpIn.Inc()
 	switch m.Type {
 	case icmp.TypeEchoRequest:
 		_ = s.sendIPv4(src, ipv4.ProtoICMP, 0, icmp.EchoReply(m))

@@ -93,8 +93,9 @@ func (s *Stack) connConfig(local, remote tcp.AddrPort, ccAlg tcpcc.Algorithm, op
 		OnReadable:        opts.OnReadable,
 		OnWritable:        opts.OnWritable,
 		OnClose:           opts.OnClose,
-		CopiedTx:          &s.stats.TCPCopiedTx,
-		CopiedRx:          &s.stats.TCPCopiedRx,
+		CopiedTx:          &s.stats.tcpCopiedTx,
+		CopiedRx:          &s.stats.tcpCopiedRx,
+		Retrans:           &s.stats.tcpRetransmits,
 	}
 	if opts.SendBufSize > 0 {
 		cfg.SendBufSize = opts.SendBufSize
@@ -121,10 +122,10 @@ func (s *Stack) tcpOutput(local, remote tcp.AddrPort) tcp.OutputFunc {
 func (s *Stack) processTCP(src ipv4.Addr, seg []byte, ce bool) {
 	h, payload, err := tcp.Parse(src, s.iface.IP, seg)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
-	s.stats.TCPSegsIn++
+	s.stats.tcpSegsIn.Inc()
 	key := fourTuple{s.iface.IP, h.DstPort, src, h.SrcPort}
 	if conn, ok := s.conns[key]; ok {
 		conn.Input(&h, payload, ce)
@@ -141,7 +142,7 @@ func (s *Stack) processTCP(src ipv4.Addr, seg []byte, ce bool) {
 			return
 		}
 	}
-	s.stats.DroppedNoSocket++
+	s.stats.droppedNoSocket.Inc()
 	s.sendRST(src, &h, len(payload))
 }
 

@@ -71,13 +71,13 @@ func (u *UDPSocket) Close() {
 func (s *Stack) processUDP(src ipv4.Addr, dg []byte) {
 	h, payload, err := udp.Parse(src, s.iface.IP, dg)
 	if err != nil {
-		s.stats.DroppedBadPacket++
+		s.stats.droppedBadPacket.Inc()
 		return
 	}
-	s.stats.UDPIn++
+	s.stats.udpIn.Inc()
 	sock, ok := s.udpSocks[h.DstPort]
 	if !ok {
-		s.stats.DroppedNoSocket++
+		s.stats.droppedNoSocket.Inc()
 		// RFC 1122: signal port unreachable.
 		msg := icmp.DestUnreachable(icmp.CodePortUnreachable, dg)
 		_ = s.sendIPv4(src, ipv4.ProtoICMP, 0, msg)

@@ -1,6 +1,7 @@
 package netkernel
 
 import (
+	"fmt"
 	"time"
 
 	"netkernel/internal/mgmt"
@@ -42,6 +43,22 @@ func NewPingMesh(cfg MeshConfig, nodes []MeshNode) *PingMesh { return mgmt.NewMe
 // a cumulative byte counter.
 func NewThroughputSLA(c *Cluster, name string, targetBps float64, window time.Duration, sample func() uint64) *ThroughputSLA {
 	return mgmt.NewThroughputSLA(c.Clock(), name, targetBps, window, sample)
+}
+
+// NewVMThroughputSLA builds a tracker fed straight from the host
+// telemetry registry: it samples the tenant's ServiceLib ingress
+// counters ("vm<id>.r<n>.svc.data_in", summed across replicas) rather
+// than a hand-fed closure.
+func NewVMThroughputSLA(c *Cluster, h *Host, vm *VM, targetBps float64, window time.Duration) *ThroughputSLA {
+	reg := h.Metrics
+	id, replicas := vm.ID, len(vm.Services)
+	return mgmt.NewThroughputSLA(c.Clock(), vm.Name, targetBps, window, func() uint64 {
+		var total uint64
+		for r := 0; r < replicas; r++ {
+			total += reg.CounterValue(fmt.Sprintf("vm%d.r%d.svc.data_in", id, r))
+		}
+		return total
+	})
 }
 
 // MeterNSM starts metering one VM's share of its NSM for billing.
