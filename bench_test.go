@@ -151,7 +151,7 @@ func benchEnginePump(b *testing.B, batch int) {
 	// Install the fd 5 ↔ cID 77 mapping with an OpSocket round trip.
 	sock := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromVM, VMID: 1, FD: 5, Seq: 1}
 	ch.VMJob.Push(&sock)
-	ch.KickEngineVM()
+	ch.KickEngineVM(0)
 	loop.RunFor(10 * time.Millisecond)
 	var got nqe.Element
 	if !ch.NSMJob.Pop(&got) {
@@ -159,7 +159,7 @@ func benchEnginePump(b *testing.B, batch int) {
 	}
 	comp := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromNSM, CID: 77, Seq: got.Seq}
 	ch.NSMCompletion.Push(&comp)
-	ch.KickEngineNSM()
+	ch.KickEngineNSM(0)
 	loop.RunFor(10 * time.Millisecond)
 	if !ch.VMCompletion.Pop(&got) || got.FD != 5 {
 		b.Fatal("socket completion did not come back")
@@ -175,7 +175,7 @@ func benchEnginePump(b *testing.B, batch int) {
 		if ch.VMJob.PushBatch(es) != burst {
 			b.Fatal("job ring full")
 		}
-		ch.KickEngineVM()
+		ch.KickEngineVM(0)
 		loop.RunFor(10 * time.Millisecond)
 		drained := 0
 		for drained < burst {
@@ -230,6 +230,23 @@ func BenchmarkEchoThroughput(b *testing.B) {
 		b.ReportMetric(res.RxCopiesPerByte, "rx-copies/B")
 	}
 	b.SetBytes(int64(echoed / uint64(b.N)))
+}
+
+// BenchmarkScaleout runs the many-VM/many-flow scale-out measurement
+// (DESIGN.md §10) at shards=1 and shards=4 and reports both aggregate
+// goodputs plus the ratio; BENCH_scaleout.json records the trajectory
+// and TestScaleoutGate enforces it in CI.
+func BenchmarkScaleout(b *testing.B) {
+	var moved uint64
+	for i := 0; i < b.N; i++ {
+		one := experiments.RunScaleout(experiments.ScaleoutConfig{Shards: 1})
+		four := experiments.RunScaleout(experiments.ScaleoutConfig{Shards: 4})
+		moved += uint64((one.AggregateBps + four.AggregateBps) / 8 * 0.05)
+		b.ReportMetric(one.AggregateBps/1e9, "shards1-Gbps")
+		b.ReportMetric(four.AggregateBps/1e9, "shards4-Gbps")
+		b.ReportMetric(four.AggregateBps/one.AggregateBps, "scaleout-x")
+	}
+	b.SetBytes(int64(moved / uint64(b.N)))
 }
 
 // --- Figure 5: the WAN flexibility experiment (virtual time) ---

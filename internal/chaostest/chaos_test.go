@@ -120,6 +120,36 @@ func TestChaosNSMCrashRestart(t *testing.T) {
 	}
 }
 
+// TestChaosLegacySingleQueue keeps the conference paper's single-queue
+// channel (Shards = -1 → no sharding anywhere) covered now that the
+// harness default runs the multi-queue datapath.
+func TestChaosLegacySingleQueue(t *testing.T) {
+	prof := lossyReorderLAN()
+	prof.Name = "lossy-reorder-lan-legacy"
+	prof.Shards = -1
+	runScenario(t, prof)
+}
+
+// TestShardDeterminism is the scale-out replay contract: with an
+// explicit 4-shard datapath — four ring sets per channel, RSS flow
+// steering, sharded connection tables — two runs of the same seed must
+// still be byte-identical. Any schedule dependence hiding in the shard
+// plumbing (map iteration over shard tables, cross-shard lookup order,
+// per-shard reset order) diverges the trace immediately.
+func TestShardDeterminism(t *testing.T) {
+	prof := lossyReorderLAN()
+	prof.Shards = 4
+	const seed = 4242
+	a := Run(seed, prof)
+	b := Run(seed, prof)
+	if diff, ok := Equal(a, b); !ok {
+		t.Fatalf("two 4-shard runs with seed %d diverged: %s", seed, diff)
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("empty trace: the scenario recorded nothing")
+	}
+}
+
 // TestChaosDeterminism is the replay contract: the same seed must
 // produce a byte-identical event trace and identical statistics, or
 // -chaos.seed is useless as a reproduction tool.

@@ -91,6 +91,12 @@ type Profile struct {
 	// Nth operation; 0 runs untraced). Tracing uses the sim clock and
 	// counter-based sampling, so traced runs stay deterministic.
 	TraceSampleEvery int
+
+	// Shards is the channel/stack shard count both hosts run with (the
+	// journal version's multi-queue NSM). 0 uses the harness default of
+	// 2 so every scenario exercises the sharded datapath; -1 pins the
+	// conference paper's legacy single-queue channel.
+	Shards int
 }
 
 // Flap is one scheduled link outage.
@@ -160,6 +166,11 @@ type harness struct {
 	recvBuf  []byte
 	shutdown bool
 	lfd      int32
+
+	// namesBoot is each host's full registry name set right after VM
+	// creation; untraced scenarios re-check it after quiesce so NSM
+	// restarts provably neither leak nor duplicate metric names.
+	namesBoot map[string][]string
 }
 
 type cconn struct {
@@ -215,10 +226,17 @@ func Run(seed uint64, prof Profile) *Result {
 
 func (h *harness) run() *Result {
 	prof := h.prof
+	shards := prof.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	if shards < 0 {
+		shards = 0
+	}
 	mk := func(name string, id uint8) *hypervisor.Host {
 		return hypervisor.NewHost(hypervisor.HostConfig{
 			Name: name, Clock: h.loop, RNG: sim.NewRNG(h.seed + uint64(id)),
-			HostID: id, Cores: 8,
+			HostID: id, Cores: 8, Shards: shards,
 			MinRTO: prof.MinRTO, MSL: prof.MSL,
 			// Queue stalls can swallow the push whose completion would
 			// have been the next wakeup; the recovery timer guarantees
@@ -245,6 +263,10 @@ func (h *harness) run() *Result {
 		panic(err)
 	}
 	h.wireChannelFaults()
+	h.namesBoot = map[string][]string{
+		"h1": h.h1.Metrics.Names(),
+		"h2": h.h2.Metrics.Names(),
+	}
 	h.loop.RunFor(50 * time.Millisecond) // NSM boot
 
 	h.startServer()
@@ -304,9 +326,13 @@ func (h *harness) wireChannelFaults() {
 	p := h.prof
 	for _, vm := range []*hypervisor.VM{h.client, h.server} {
 		for _, pair := range vm.Guest.Pairs() {
-			queues := []nkqueue.Q{
-				pair.VMJob, pair.VMCompletion, pair.VMReceive,
-				pair.NSMJob, pair.NSMCompletion, pair.NSMReceive,
+			pair.EnsureShards()
+			var queues []nkqueue.Q
+			for si := range pair.Shards {
+				r := &pair.Shards[si]
+				queues = append(queues,
+					r.VMJob, r.VMCompletion, r.VMReceive,
+					r.NSMJob, r.NSMCompletion, r.NSMReceive)
 			}
 			for _, q := range queues {
 				if p.QueueStallProb > 0 {
@@ -577,6 +603,12 @@ func (h *harness) checkPools(t *testing.T) {
 		if n := host.Engine.Mappings(); n != 0 {
 			t.Errorf("[seed %d] engine %s holds %d fd↔cID mappings after quiesce", h.seed, name, n)
 		}
+		// Flow affinity: no fd or connection ID may ever have appeared
+		// on two shards of the same channel — once a flow is steered,
+		// every nqe it produces rides the same ring set for life.
+		if err := host.Engine.CheckFlowAffinity(); err != nil {
+			t.Errorf("[seed %d] engine %s: %v", h.seed, name, err)
+		}
 	}
 	for _, nsm := range []*hypervisor.NSM{h.client.NSM, h.server.NSM} {
 		if n := nsm.Stack.ConnCount(); n != 0 {
@@ -602,14 +634,18 @@ func (h *harness) checkTelemetry(t *testing.T) {
 	t.Helper()
 	for _, vm := range []*hypervisor.VM{h.client, h.server} {
 		for i, pair := range vm.Guest.Pairs() {
-			queues := map[string]nkqueue.Q{
-				"vm_job": pair.VMJob, "vm_completion": pair.VMCompletion, "vm_receive": pair.VMReceive,
-				"nsm_job": pair.NSMJob, "nsm_completion": pair.NSMCompletion, "nsm_receive": pair.NSMReceive,
-			}
-			for name, q := range queues {
-				if q.Pushed() != q.Popped()+uint64(q.Len()) {
-					t.Errorf("[seed %d] %s pair %d queue %s: pushed %d != popped %d + len %d",
-						h.seed, vm.Name, i, name, q.Pushed(), q.Popped(), q.Len())
+			pair.EnsureShards()
+			for si := range pair.Shards {
+				r := &pair.Shards[si]
+				queues := map[string]nkqueue.Q{
+					"vm_job": r.VMJob, "vm_completion": r.VMCompletion, "vm_receive": r.VMReceive,
+					"nsm_job": r.NSMJob, "nsm_completion": r.NSMCompletion, "nsm_receive": r.NSMReceive,
+				}
+				for name, q := range queues {
+					if q.Pushed() != q.Popped()+uint64(q.Len()) {
+						t.Errorf("[seed %d] %s pair %d shard %d queue %s: pushed %d != popped %d + len %d",
+							h.seed, vm.Name, i, si, name, q.Pushed(), q.Popped(), q.Len())
+					}
 				}
 			}
 		}
@@ -665,6 +701,61 @@ func (h *harness) checkTelemetry(t *testing.T) {
 		for metric, want := range counters {
 			if got := snap.Counter(metric); got != want {
 				t.Errorf("[seed %d] registry %s = %d, stack ledger %d", h.seed, metric, got, want)
+			}
+		}
+
+		// Per-shard connection gauges: the registry must hold exactly
+		// one "s<i>.conns" per configured shard — no stale shard names
+		// surviving an NSM restart — and each must equal the live
+		// stack's own shard count.
+		host := h.h1
+		if nsm == h.server.NSM {
+			host = h.h2
+		}
+		want := map[string]int64{}
+		for i := 0; i < nsm.Stack.RxShards(); i++ {
+			want[fmt.Sprintf("%ss%d.conns", prefix, i)] = int64(nsm.Stack.ShardConnCount(i))
+		}
+		got := map[string]bool{}
+		for _, n := range host.Metrics.Names() {
+			if strings.HasPrefix(n, prefix+"s") && strings.HasSuffix(n, ".conns") {
+				got[n] = true
+			}
+		}
+		for n, v := range want {
+			if !got[n] {
+				t.Errorf("[seed %d] registry missing per-shard gauge %s", h.seed, n)
+			} else if g := snap.Gauge(n); g != v {
+				t.Errorf("[seed %d] registry %s = %d, stack ledger %d", h.seed, n, g, v)
+			}
+		}
+		for n := range got {
+			if _, ok := want[n]; !ok {
+				t.Errorf("[seed %d] registry holds stale per-shard gauge %s (stack has %d shards)",
+					h.seed, n, nsm.Stack.RxShards())
+			}
+		}
+	}
+
+	// Name-set stability: everything registers at boot, and restarts
+	// re-register last-wins under identical names, so the registry's
+	// name set after quiesce must equal the boot capture. (Traced runs
+	// create span histograms lazily mid-run, so only untraced profiles
+	// pin the full set.)
+	if h.prof.TraceSampleEvery == 0 {
+		for name, host := range map[string]*hypervisor.Host{"h1": h.h1, "h2": h.h2} {
+			now := host.Metrics.Names()
+			boot := h.namesBoot[name]
+			if len(now) != len(boot) {
+				t.Errorf("[seed %d] host %s registry grew from %d to %d names across the run (restart leak?)",
+					h.seed, name, len(boot), len(now))
+				continue
+			}
+			for i := range now {
+				if now[i] != boot[i] {
+					t.Errorf("[seed %d] host %s registry name drift: %q vs boot %q", h.seed, name, now[i], boot[i])
+					break
+				}
 			}
 		}
 	}

@@ -262,6 +262,60 @@ func TestCopyBudgetGate(t *testing.T) {
 	}
 }
 
+// TestScaleoutGate is the multi-core NSM regression gate (DESIGN.md
+// §10): the many-VM/many-flow measurement — 8 tenant VMs per host
+// multiplexed onto one shared 4-core NSM, 32 bulk flows — must scale
+// when the channel and connection table shard. The committed
+// BENCH_scaleout.json baselines are exact (virtual time makes the run
+// a pure function of the seed); the gate allows 10% slack so an
+// intentional retuning of the simulation constants fails loudly
+// rather than silently rewriting the scaling story. CI's
+// scaleout-smoke job runs exactly this test.
+func TestScaleoutGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-out pair takes ~60s")
+	}
+	// Baselines from BENCH_scaleout.json (seed 4242, 8 VMs × 4 flows,
+	// 4-core NSMs, 50 ms warmup + 50 ms window).
+	const (
+		baseline1Bps = 2.48e9
+		baseline4Bps = 11.26e9
+	)
+	one := RunScaleout(ScaleoutConfig{Shards: 1})
+	four := RunScaleout(ScaleoutConfig{Shards: 4})
+	t.Logf("shards=1: %.2f Gbit/s %v  shards=4: %.2f Gbit/s %v  scaleout %.2fx",
+		one.AggregateBps/1e9, one.ShardConns, four.AggregateBps/1e9, four.ShardConns, four.AggregateBps/one.AggregateBps)
+
+	for _, r := range []ScaleoutResult{one, four} {
+		if r.Established != r.Flows {
+			t.Errorf("shards=%d: only %d of %d flows established", r.Shards, r.Established, r.Flows)
+		}
+	}
+	if four.AggregateBps < 1.5*one.AggregateBps {
+		t.Errorf("shards=4 aggregate %.2f Gbit/s is not ≥1.5x shards=1 %.2f Gbit/s",
+			four.AggregateBps/1e9, one.AggregateBps/1e9)
+	}
+	if floor := 0.9 * baseline1Bps; one.AggregateBps < floor {
+		t.Errorf("shards=1 goodput %.2f Gbit/s regressed >10%% vs BENCH_scaleout.json %.2f Gbit/s",
+			one.AggregateBps/1e9, baseline1Bps/1e9)
+	}
+	if floor := 0.9 * baseline4Bps; four.AggregateBps < floor {
+		t.Errorf("shards=4 goodput %.2f Gbit/s regressed >10%% vs BENCH_scaleout.json %.2f Gbit/s",
+			four.AggregateBps/1e9, baseline4Bps/1e9)
+	}
+	// Steering must actually spread the server's connection table; a
+	// single-shard pileup means the ratio above is measuring luck.
+	spread := 0
+	for _, n := range four.ShardConns {
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 3 {
+		t.Errorf("shards=4 run placed connections on only %d of 4 shards: %v", spread, four.ShardConns)
+	}
+}
+
 // TestTraceOverheadGate is the telemetry overhead regression gate
 // (DESIGN.md §9): with tracing off — the production default — the
 // streaming echo must stay within 5% of the PR 3 goodput baseline

@@ -1,0 +1,157 @@
+package experiments
+
+// Scale-out experiment (DESIGN.md §10): the journal version's headline
+// efficiency claim is many tenant VMs multiplexed onto one shared,
+// multi-queue NSM that spreads its packet processing across cores. The
+// measurement multiplexes VMs tenant VMs per host onto a single
+// multi-core NSM and opens FlowsPerVM bulk flows per tenant; RSS flow
+// steering (vswitch.TupleHash over the 4-tuple) pins each flow to a
+// channel shard and the NSM stack dispatches each flow's packets to
+// CPU core == shard. Shards=1 models the conference paper's
+// single-queue NSM — every flow serialized on core 0, the scale-out
+// baseline — while Shards=N spreads the same offered load over N
+// cores. The NSM's CPU size is held constant across runs so the only
+// variable is steering.
+
+import (
+	"time"
+
+	"netkernel/internal/hypervisor"
+	"netkernel/internal/netsim"
+)
+
+// ScaleoutConfig shapes the many-VM/many-flow measurement.
+type ScaleoutConfig struct {
+	// Shards is the channel/stack shard count (default 1, the
+	// single-queue baseline).
+	Shards int
+	// VMs is the tenant VM count per host (default 8).
+	VMs int
+	// FlowsPerVM is the concurrent bulk flows per tenant (default 4).
+	FlowsPerVM int
+	// Cores sizes each NSM's dedicated CPU (default 4; identical for
+	// every shard count so runs differ only in steering).
+	Cores int
+	// Warmup precedes the measured window (default 100 ms after boot).
+	Warmup time.Duration
+	// Window is the measured period (default 100 ms).
+	Window time.Duration
+	// Seed drives deterministic randomness (default 4242).
+	Seed uint64
+}
+
+func (c *ScaleoutConfig) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.VMs <= 0 {
+		c.VMs = 8
+	}
+	if c.FlowsPerVM <= 0 {
+		c.FlowsPerVM = 4
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 4242
+	}
+}
+
+// ScaleoutResult reports one run of the many-VM/many-flow measurement.
+type ScaleoutResult struct {
+	Shards int
+	VMs    int
+	Flows  int
+	// Established counts flows that completed their handshake.
+	Established int
+	// AggregateBps is the summed receive-side goodput over the window.
+	AggregateBps float64
+	// ShardConns is the server NSM's per-shard connection-table
+	// occupancy at the end of the window (length == stack shards).
+	ShardConns []int
+}
+
+// RunScaleout multiplexes cfg.VMs tenants per host onto one shared
+// multi-core NSM each and measures aggregate goodput across
+// VMs×FlowsPerVM bulk flows.
+func RunScaleout(cfg ScaleoutConfig) ScaleoutResult {
+	cfg.fillDefaults()
+	w := NewWorld(WorldConfig{
+		// Fat, short pipe: the 100G link never binds, so aggregate
+		// goodput is set by how many NSM cores the steering can keep
+		// busy at PerPacketCost per frame.
+		Link:          netsim.LinkConfig{Rate: 100 * netsim.Gbps, Delay: 20 * time.Microsecond, QueueBytes: 2 << 20},
+		PerPacketCost: 2 * time.Microsecond,
+		Cores:         8,
+		Seed:          cfg.Seed,
+		MinRTO:        10 * time.Millisecond,
+		Mutate: func(hc *hypervisor.HostConfig) {
+			hc.Shards = cfg.Shards
+		},
+	})
+
+	// One multi-core NSM per host; tenant 0 boots it, the rest attach
+	// to it (ShareWith) and inherit its network identity.
+	mkTenants := func(h *hypervisor.Host, ip [4]byte) []*hypervisor.VM {
+		vms := make([]*hypervisor.VM, cfg.VMs)
+		var first *hypervisor.NSM
+		for i := range vms {
+			spec := hypervisor.NSMSpec{Form: hypervisor.FormVM, CC: "cubic", Cores: cfg.Cores}
+			if first != nil {
+				spec = hypervisor.NSMSpec{ShareWith: first}
+			}
+			vm, err := h.CreateVM(hypervisor.VMConfig{
+				Name: "tenant", IP: ip, Mode: hypervisor.ModeNetKernel, NSM: spec,
+			})
+			if err != nil {
+				panic(err)
+			}
+			vms[i] = vm
+			if first == nil {
+				first = vm.NSM
+			}
+		}
+		return vms
+	}
+	clients := mkTenants(w.H1, SenderIP)
+	servers := mkTenants(w.H2, ReceiverIP)
+
+	w.Loop.RunFor(clients[0].NSM.Profile.BootTime + 50*time.Millisecond)
+
+	// FlowsPerVM bulk flows from each client tenant to its paired
+	// server tenant, every flow on its own port so the 4-tuples (and
+	// therefore the RSS shards) spread.
+	var flows []*Flow
+	for i := 0; i < cfg.VMs; i++ {
+		for j := 0; j < cfg.FlowsPerVM; j++ {
+			port := uint16(7000 + i*cfg.FlowsPerVM + j)
+			flows = append(flows, StartFlow(w, clients[i], servers[i], port))
+		}
+	}
+
+	agg := MeasureGoodput(w, flows, cfg.Warmup, cfg.Window)
+
+	res := ScaleoutResult{
+		Shards:       cfg.Shards,
+		VMs:          cfg.VMs,
+		Flows:        len(flows),
+		AggregateBps: agg,
+	}
+	for _, f := range flows {
+		if f.Established() {
+			res.Established++
+		}
+	}
+	st := servers[0].NSM.Stack
+	for i := 0; i < st.RxShards(); i++ {
+		res.ShardConns = append(res.ShardConns, st.ShardConnCount(i))
+	}
+	return res
+}

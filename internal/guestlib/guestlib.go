@@ -168,8 +168,13 @@ type socket struct {
 	kind  sockKind
 	state sockState
 	cbs   Callbacks
-	// pair is the NSM-replica channel this socket lives on.
-	pair *nkchan.Pair
+	// pair is the NSM-replica channel this socket lives on; shard is
+	// the channel shard every nqe of this socket rides (flow
+	// affinity): assigned round-robin at creation for guest-created
+	// sockets, inherited from the OpNewConn event's arrival shard for
+	// accepted ones.
+	pair  *nkchan.Pair
+	shard int
 
 	// ready turns true once the CoreEngine has installed the fd↔cID
 	// mapping (the OpSocket completion, §3.2). Control operations
@@ -218,9 +223,10 @@ type recvSeg struct {
 
 // GuestLib is one tenant VM's NetKernel endpoint.
 type GuestLib struct {
-	cfg      Config
-	pairs    []*nkchan.Pair
-	nextPair int // round-robin socket placement across replicas
+	cfg       Config
+	pairs     []*nkchan.Pair
+	nextPair  int // round-robin socket placement across replicas
+	nextShard int // round-robin shard placement within a pair
 	sockets  map[int32]*socket
 	nextFD   int32
 	seq      uint64
@@ -243,8 +249,9 @@ type GuestLib struct {
 }
 
 type pendingOp struct {
-	pair *nkchan.Pair
-	e    nqe.Element
+	pair  *nkchan.Pair
+	shard int
+	e     nqe.Element
 }
 
 // New builds a GuestLib and wires it to its pairs' VM-side kicks.
@@ -266,7 +273,8 @@ func New(cfg Config) *GuestLib {
 	g.stats.register(cfg.Metrics)
 	for _, p := range pairs {
 		p := p
-		p.KickVM = func() { g.pump(p) }
+		p.EnsureShards()
+		p.KickVM = func(shard int) { g.pump(p, shard) }
 	}
 	return g
 }
@@ -299,14 +307,16 @@ func (g *GuestLib) noteBackpressure() {
 func (g *GuestLib) retryBacklog() {
 	for len(g.pendingOps) > 0 {
 		op := g.pendingOps[0]
-		if !g.push(op.pair, &op.e) {
+		if !g.push(op.pair, op.shard, &op.e) {
 			break
 		}
 		g.pendingOps = g.pendingOps[1:]
 	}
 	g.wakeStalled()
 	for _, p := range g.pairs {
-		p.VMJob.Flush()
+		for i := range p.Shards {
+			p.Shards[i].VMJob.Flush()
+		}
 	}
 	if len(g.pendingOps) > 0 {
 		g.noteBackpressure()
@@ -316,11 +326,15 @@ func (g *GuestLib) retryBacklog() {
 // Stats returns a copy of the counters, read atomically.
 func (g *GuestLib) Stats() Stats { return g.stats.snapshot() }
 
-func (g *GuestLib) push(pair *nkchan.Pair, e *nqe.Element) bool {
+func (g *GuestLib) push(pair *nkchan.Pair, shard int, e *nqe.Element) bool {
 	e.VMID = g.cfg.VMID
 	e.Source = nqe.FromVM
 	g.seq++
 	e.Seq = g.seq
+	if shard < 0 || shard >= len(pair.Shards) {
+		shard = 0
+	}
+	job := pair.Shards[shard].VMJob
 	// The send-path span opens here: the sampled element carries its
 	// span id in the wire record, and a failed push keeps the id so the
 	// retried element still belongs to the same span (the span then
@@ -328,15 +342,26 @@ func (g *GuestLib) push(pair *nkchan.Pair, e *nqe.Element) bool {
 	if tr := g.cfg.Tracer; tr.Enabled() && e.Trace == 0 {
 		e.Trace = tr.Start("tx:" + e.Op.String())
 	}
-	if !pair.VMJob.Push(e) {
+	if !job.Push(e) {
 		return false
 	}
 	g.stats.opsIssued.Inc()
-	g.cfg.Tracer.Stamp(e.Trace, "guestlib.enqueue", int64(pair.VMJob.Len()))
+	g.cfg.Tracer.Stamp(e.Trace, "guestlib.enqueue", int64(job.Len()))
 	if pair.KickEngineVM != nil {
-		pair.KickEngineVM()
+		pair.KickEngineVM(shard)
 	}
 	return true
+}
+
+// placeSocket picks the pair and shard a new socket lives on: pairs
+// round-robin (replica spread), then shards round-robin within the
+// pair (pump spread). Deterministic given creation order.
+func (g *GuestLib) placeSocket() (*nkchan.Pair, int) {
+	pair := g.pairs[g.nextPair%len(g.pairs)]
+	g.nextPair++
+	shard := g.nextShard % pair.NumShards()
+	g.nextShard++
+	return pair, shard
 }
 
 // Socket creates a stream socket and returns its descriptor. (The
@@ -347,12 +372,11 @@ func (g *GuestLib) push(pair *nkchan.Pair, e *nqe.Element) bool {
 func (g *GuestLib) Socket(cbs Callbacks) int32 {
 	fd := g.nextFD
 	g.nextFD++
-	pair := g.pairs[g.nextPair%len(g.pairs)]
-	g.nextPair++
-	g.sockets[fd] = &socket{fd: fd, kind: kindStream, cbs: cbs, credit: g.cfg.SendCredit, pair: pair}
+	pair, shard := g.placeSocket()
+	g.sockets[fd] = &socket{fd: fd, kind: kindStream, cbs: cbs, credit: g.cfg.SendCredit, pair: pair, shard: shard}
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd}
-	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
-		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+	if len(g.pendingOps) > 0 || !g.push(pair, shard, &e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, shard: shard, e: e})
 		g.noteBackpressure()
 	}
 	return fd
@@ -363,12 +387,11 @@ func (g *GuestLib) Socket(cbs Callbacks) int32 {
 func (g *GuestLib) SocketDatagram(cbs Callbacks) int32 {
 	fd := g.nextFD
 	g.nextFD++
-	pair := g.pairs[g.nextPair%len(g.pairs)]
-	g.nextPair++
-	g.sockets[fd] = &socket{fd: fd, kind: kindDatagram, cbs: cbs, credit: g.cfg.SendCredit, pair: pair}
+	pair, shard := g.placeSocket()
+	g.sockets[fd] = &socket{fd: fd, kind: kindDatagram, cbs: cbs, credit: g.cfg.SendCredit, pair: pair, shard: shard}
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Arg0: 1 /* datagram */}
-	if len(g.pendingOps) > 0 || !g.push(pair, &e) {
-		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, e: e})
+	if len(g.pendingOps) > 0 || !g.push(pair, shard, &e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, shard: shard, e: e})
 		g.noteBackpressure()
 	}
 	return fd
@@ -405,7 +428,7 @@ func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte)
 			return err
 		}
 	}
-	chunk, ok := s.pair.Pages.Alloc()
+	chunk, ok := s.pair.Pages.AllocOn(s.shard)
 	if !ok {
 		return fmt.Errorf("guestlib: huge pages exhausted")
 	}
@@ -432,7 +455,7 @@ func (g *GuestLib) pushWhenReadyData(s *socket, e *nqe.Element) bool {
 		s.deferred = append(s.deferred, *e)
 		return true
 	}
-	return g.push(s.pair, e)
+	return g.push(s.pair, s.shard, e)
 }
 
 // RecvFrom pops one received datagram into buf.
@@ -473,8 +496,8 @@ func (g *GuestLib) pushWhenReady(s *socket, e *nqe.Element) {
 		s.deferred = append(s.deferred, *e)
 		return
 	}
-	if len(g.pendingOps) > 0 || !g.push(s.pair, e) {
-		g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, e: *e})
+	if len(g.pendingOps) > 0 || !g.push(s.pair, s.shard, e) {
+		g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, shard: s.shard, e: *e})
 		g.noteBackpressure()
 	}
 }
@@ -537,7 +560,7 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 			break
 		}
 		n := min(min(chunkSize, len(p)), s.credit)
-		chunk, ok := s.pair.Pages.Alloc()
+		chunk, ok := s.pair.Pages.AllocOn(s.shard)
 		if !ok {
 			g.markStalled(s)
 			g.stats.creditStalls.Inc()
@@ -552,7 +575,7 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 		if len(p) > n {
 			e.Flags |= nqe.FlagMoreData
 		}
-		if !g.push(s.pair, e) {
+		if !g.push(s.pair, s.shard, e) {
 			s.pair.Pages.Free(chunk)
 			g.markStalled(s)
 			// A fault-stalled job queue may never kick us back; under
@@ -591,7 +614,7 @@ func (g *GuestLib) Recv(fd int32, buf []byte) (n int, eof bool) {
 		g.stats.bytesReceived.Add(uint64(n))
 		// Return receive credit so the NSM keeps reading (§3.2 recv()
 		// "simply checks and copies new data in the VM receive queue").
-		g.push(s.pair, &nqe.Element{Op: nqe.OpRecv, FD: fd, Arg0: uint64(n)})
+		g.push(s.pair, s.shard, &nqe.Element{Op: nqe.OpRecv, FD: fd, Arg0: uint64(n)})
 	}
 	return n, s.eof && len(s.recvQ) == 0
 }
@@ -652,9 +675,13 @@ func (g *GuestLib) stream(fd int32) (*socket, error) {
 // pump drains one pair's VM completion and receive queues in batches
 // (whole ring spans per pop, §3.2 "batched interrupts"). It runs on the
 // clock executor when the CoreEngine kicks the VM side.
-func (g *GuestLib) pump(pair *nkchan.Pair) {
+func (g *GuestLib) pump(pair *nkchan.Pair, shard int) {
+	if shard < 0 || shard >= len(pair.Shards) {
+		shard = 0
+	}
+	rings := &pair.Shards[shard]
 	for {
-		n := pair.VMCompletion.PopBatch(g.drain)
+		n := rings.VMCompletion.PopBatch(g.drain)
 		if n == 0 {
 			break
 		}
@@ -664,18 +691,18 @@ func (g *GuestLib) pump(pair *nkchan.Pair) {
 		}
 	}
 	for {
-		n := pair.VMReceive.PopBatch(g.drain)
+		n := rings.VMReceive.PopBatch(g.drain)
 		if n == 0 {
 			break
 		}
 		g.stats.events.Add(uint64(n))
 		for i := range g.drain[:n] {
-			g.handleEvent(pair, &g.drain[i])
+			g.handleEvent(pair, shard, &g.drain[i])
 		}
 	}
 	for len(g.pendingOps) > 0 {
 		op := g.pendingOps[0]
-		if !g.push(op.pair, &op.e) {
+		if !g.push(op.pair, op.shard, &op.e) {
 			break
 		}
 		g.pendingOps = g.pendingOps[1:]
@@ -684,9 +711,13 @@ func (g *GuestLib) pump(pair *nkchan.Pair) {
 		g.noteBackpressure()
 	}
 	g.wakeStalled()
-	// The pump produced jobs (credits, retried ops); deliver any partial
-	// doorbell batch before going idle.
-	pair.VMJob.Flush()
+	// The pump produced jobs (credits, retried ops); deliver any
+	// partial doorbell batch before going idle. Credits ride the
+	// receiving socket's own shard, which may differ from the pumped
+	// one, so every shard's job ring flushes.
+	for i := range pair.Shards {
+		pair.Shards[i].VMJob.Flush()
+	}
 }
 
 // wakeStalled revisits write-stalled sockets in descriptor order once
@@ -759,8 +790,8 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 		s.ready = true
 		for i := range s.deferred {
 			op := s.deferred[i]
-			if len(g.pendingOps) > 0 || !g.push(s.pair, &op) {
-				g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, e: op})
+			if len(g.pendingOps) > 0 || !g.push(s.pair, s.shard, &op) {
+				g.pendingOps = append(g.pendingOps, pendingOp{pair: s.pair, shard: s.shard, e: op})
 				g.noteBackpressure()
 			}
 		}
@@ -774,7 +805,7 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 	}
 }
 
-func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
+func (g *GuestLib) handleEvent(pair *nkchan.Pair, shard int, e *nqe.Element) {
 	// A traced receive-path element completes its span on delivery to
 	// the guest — the mirror of the send path's stack-TX end.
 	g.cfg.Tracer.End(e.Trace, "guestlib.deliver")
@@ -800,9 +831,12 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, e *nqe.Element) {
 			return
 		}
 		newFD := int32(e.Arg1)
+		// The accepted socket inherits the shard its OpNewConn rode in
+		// on — the flow's hash shard, where the engine installed its
+		// mapping. Every element it ever sends stays there.
 		g.sockets[newFD] = &socket{
 			fd: newFD, kind: kindStream, state: stEstablished,
-			credit: g.cfg.SendCredit, ready: true, pair: s.pair,
+			credit: g.cfg.SendCredit, ready: true, pair: s.pair, shard: shard,
 		}
 		s.accepts = append(s.accepts, newFD)
 		if len(s.accepts) == 1 && s.cbs.OnAcceptable != nil {

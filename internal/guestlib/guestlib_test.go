@@ -27,7 +27,7 @@ func newHarness(t *testing.T) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{loop: sim.NewLoop(), pair: pair}
-	pair.KickEngineVM = func() {
+	pair.KickEngineVM = func(int) {
 		h.kicks++
 		var e nqe.Element
 		for pair.VMJob.Pop(&e) {
@@ -42,12 +42,12 @@ func newHarness(t *testing.T) *harness {
 func (h *harness) completeSocket(fd int32, seq uint64) {
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Seq: seq, Source: nqe.FromCore, Flags: nqe.FlagCompletion}
 	h.pair.VMCompletion.Push(&e)
-	h.pair.KickVM()
+	h.pair.KickVM(0)
 }
 
 func (h *harness) deliverEvent(e nqe.Element) {
 	h.pair.VMReceive.Push(&e)
-	h.pair.KickVM()
+	h.pair.KickVM(0)
 }
 
 func TestSocketEmitsJob(t *testing.T) {
@@ -169,7 +169,7 @@ func TestSendCreditExhaustionAndWritable(t *testing.T) {
 	pair, _ := nkchan.NewPair(nkchan.Config{})
 	loop := sim.NewLoop()
 	var jobs []nqe.Element
-	pair.KickEngineVM = func() {
+	pair.KickEngineVM = func(int) {
 		var e nqe.Element
 		for pair.VMJob.Pop(&e) {
 			jobs = append(jobs, e)
@@ -179,11 +179,11 @@ func TestSendCreditExhaustionAndWritable(t *testing.T) {
 	fd := g.Socket(Callbacks{})
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Seq: jobs[0].Seq, Flags: nqe.FlagCompletion, Source: nqe.FromCore}
 	pair.VMCompletion.Push(&e)
-	pair.KickVM()
+	pair.KickVM(0)
 	g.Connect(fd, ipv4.Addr{10, 0, 0, 2}, 80)
 	ev := nqe.Element{Op: nqe.OpEstablished, FD: fd, Status: nqe.StatusOK, Source: nqe.FromNSM}
 	pair.VMReceive.Push(&ev)
-	pair.KickVM()
+	pair.KickVM(0)
 
 	writable := 0
 	g.SetCallbacks(fd, Callbacks{OnWritable: func() { writable++ }})
@@ -203,7 +203,7 @@ func TestSendCreditExhaustionAndWritable(t *testing.T) {
 	// A send completion returns credit and fires OnWritable.
 	comp := nqe.Element{Op: nqe.OpSend, FD: fd, DataLen: 8 << 10, Flags: nqe.FlagCompletion, Source: nqe.FromNSM}
 	pair.VMCompletion.Push(&comp)
-	pair.KickVM()
+	pair.KickVM(0)
 	if writable != 1 {
 		t.Fatalf("OnWritable fired %d times", writable)
 	}
@@ -374,7 +374,7 @@ func TestSendToFullQueueFreesChunk(t *testing.T) {
 	}
 	done := nqe.Element{Op: nqe.OpSocket, FD: fd, Seq: e.Seq, Source: nqe.FromCore, Flags: nqe.FlagCompletion}
 	pair.VMCompletion.Push(&done)
-	pair.KickVM()
+	pair.KickVM(0)
 	if err := g.BindUDP(fd, 5353); err != nil {
 		t.Fatal(err)
 	}

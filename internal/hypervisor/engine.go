@@ -1,7 +1,9 @@
 package hypervisor
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"netkernel/internal/nkchan"
@@ -63,19 +65,65 @@ type EngineStats struct {
 	DiscardedElements uint64 // in-flight nqes dropped by a reset
 }
 
-// Mappings returns the total live fd↔cID entries across pairs
-// (monitoring; a steadily growing value would indicate a leak).
+// Mappings returns the total live fd↔cID entries across pairs and
+// shards (monitoring; a steadily growing value would indicate a
+// leak). Safe to call from any goroutine.
 func (ce *CoreEngine) Mappings() int {
 	n := 0
 	for _, ep := range ce.pairs {
-		n += len(ep.fdToCID)
+		for _, sh := range ep.shards {
+			sh.mu.Lock()
+			n += len(sh.fdToCID)
+			sh.mu.Unlock()
+		}
 	}
 	return n
+}
+
+// CheckFlowAffinity verifies the shard-for-life invariant on the
+// mapping table: a descriptor (and its cID) may live on exactly one
+// shard of its pair. A violation means an nqe for a live flow crossed
+// shards — the bug class sharding must exclude. Safe to call from any
+// goroutine.
+func (ce *CoreEngine) CheckFlowAffinity() error {
+	for _, ep := range ce.pairs {
+		fdShard := make(map[int32]int)
+		cidShard := make(map[uint32]int)
+		for _, sh := range ep.shards {
+			sh.mu.Lock()
+			for fd := range sh.fdToCID {
+				if prev, dup := fdShard[fd]; dup {
+					sh.mu.Unlock()
+					return fmt.Errorf("vm%d/nsm%d: fd %d mapped on shards %d and %d",
+						ep.vmID, ep.nsmID, fd, prev, sh.idx)
+				}
+				fdShard[fd] = sh.idx
+			}
+			for cid := range sh.cidToFD {
+				if prev, dup := cidShard[cid]; dup {
+					sh.mu.Unlock()
+					return fmt.Errorf("vm%d/nsm%d: cID %d mapped on shards %d and %d",
+						ep.vmID, ep.nsmID, cid, prev, sh.idx)
+				}
+				cidShard[cid] = sh.idx
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return nil
 }
 
 // CoreEngine is the hypervisor daemon of §3: it copies nqes between VM
 // and NSM queues, owns the <VM ID, fd> ↔ <NSM ID, cID> connection
 // mapping table, and assigns descriptors for accepted connections.
+//
+// With a sharded channel the engine runs one logical pump per shard
+// (the journal version's multi-queue NSM): each shard owns a slice of
+// the mapping table and its own stall buffers, and a flow's elements
+// only ever ride the shard its RSS hash pinned it to. All pumps
+// execute on the simulation loop; same-instant pumps run in kick
+// order, which producers issue in ascending shard order, keeping runs
+// pure functions of the seed.
 type CoreEngine struct {
 	clock sim.Clock
 	cfg   EngineConfig
@@ -95,8 +143,10 @@ func (ce *CoreEngine) Stats() EngineStats { return ce.stats }
 // Pairs returns the number of attached VM↔NSM channels.
 func (ce *CoreEngine) Pairs() int { return len(ce.pairs) }
 
-// enginePair is one VM↔NSM channel's state inside the engine,
-// including its slice of the connection mapping table (Figure 3).
+// enginePair is one VM↔NSM channel's state inside the engine. The
+// translation state lives in its shards; the pair holds what is
+// shard-invariant: identity, latency, the boot gate, and the
+// accepted-connection descriptor allocator.
 type enginePair struct {
 	engine *CoreEngine
 	ch     *nkchan.Pair
@@ -104,17 +154,33 @@ type enginePair struct {
 	nsmID  uint32
 	notify time.Duration
 
+	// nextFD allocates descriptors for accepted connections (§3.2:
+	// "CoreEngine generates a new socket fd on behalf of the VM").
+	// The range is disjoint from GuestLib's own allocations and
+	// shared by all shards (only pump code, i.e. the loop goroutine,
+	// touches it).
+	nextFD int32
+
+	readyAt sim.Time // NSM boot gate
+	shards  []*pairShard
+}
+
+// pairShard is one shard's pump state: its rings, its slice of the
+// fd↔cID mapping table, and its stall buffers. The mutex guards the
+// maps for management-plane readers (Mappings, CheckFlowAffinity);
+// all mutation happens on the loop goroutine.
+type pairShard struct {
+	ep    *enginePair
+	idx   int
+	rings *nkchan.Rings
+
+	mu      sync.Mutex
 	fdToCID map[int32]uint32
 	cidToFD map[uint32]int32
 	// pendingFD correlates OpSocket completions back to the guest fd
 	// (by Seq) so the mapping can be installed.
 	pendingFD map[uint64]int32
-	// nextFD allocates descriptors for accepted connections (§3.2:
-	// "CoreEngine generates a new socket fd on behalf of the VM").
-	// The range is disjoint from GuestLib's own allocations.
-	nextFD int32
 
-	readyAt      sim.Time // NSM boot gate
 	vmScheduled  bool
 	nsmScheduled bool
 	// stalled holds elements that could not be pushed to a full queue.
@@ -135,18 +201,33 @@ func (ce *CoreEngine) Attach(ch *nkchan.Pair, vmID, nsmID uint32, notifyExtra ti
 	if fdBase <= 0 {
 		fdBase = 1 << 20
 	}
+	ch.EnsureShards()
 	ep := &enginePair{
 		engine: ce, ch: ch, vmID: vmID, nsmID: nsmID,
-		notify:    ce.cfg.NotifyLatency + notifyExtra,
-		fdToCID:   make(map[int32]uint32),
-		cidToFD:   make(map[uint32]int32),
-		pendingFD: make(map[uint64]int32),
-		nextFD:    fdBase,
-		readyAt:   readyAt,
+		notify:  ce.cfg.NotifyLatency + notifyExtra,
+		nextFD:  fdBase,
+		readyAt: readyAt,
 	}
-	ch.KickEngineVM = ep.kickVM
-	ch.KickEngineNSM = ep.kickNSM
+	for i := range ch.Shards {
+		ep.shards = append(ep.shards, &pairShard{
+			ep: ep, idx: i, rings: &ch.Shards[i],
+			fdToCID:   make(map[int32]uint32),
+			cidToFD:   make(map[uint32]int32),
+			pendingFD: make(map[uint64]int32),
+		})
+	}
+	ch.KickEngineVM = func(shard int) { ep.shard(shard).kickVM() }
+	ch.KickEngineNSM = func(shard int) { ep.shard(shard).kickNSM() }
 	ce.pairs = append(ce.pairs, ep)
+}
+
+// shard clamps an index to the attached shard set (bad indices fold to
+// shard 0 rather than panicking the loop).
+func (ep *enginePair) shard(i int) *pairShard {
+	if i < 0 || i >= len(ep.shards) {
+		i = 0
+	}
+	return ep.shards[i]
 }
 
 // delay returns how long until the pair may pump: the notify latency,
@@ -161,65 +242,67 @@ func (ep *enginePair) delay() time.Duration {
 	return d
 }
 
-func (ep *enginePair) kickVM() {
-	if ep.vmScheduled {
+func (sh *pairShard) kickVM() {
+	if sh.vmScheduled {
 		return
 	}
-	ep.vmScheduled = true
-	ep.engine.clock.AfterFunc(ep.delay(), ep.pumpVM)
+	sh.vmScheduled = true
+	sh.ep.engine.clock.AfterFunc(sh.ep.delay(), sh.pumpVM)
 }
 
-func (ep *enginePair) kickNSM() {
-	if ep.nsmScheduled {
+func (sh *pairShard) kickNSM() {
+	if sh.nsmScheduled {
 		return
 	}
-	ep.nsmScheduled = true
-	ep.engine.clock.AfterFunc(ep.delay(), ep.pumpNSM)
+	sh.nsmScheduled = true
+	sh.ep.engine.clock.AfterFunc(sh.ep.delay(), sh.pumpNSM)
 }
 
-// pumpVM drains the VM job queue into the NSM job queue in batches,
-// translating <VM ID, fd> to <NSM ID, cID> via the mapping table. Each
-// span pops with one atomic add, translates in place (per element — the
-// mapping table must be consulted — but touching only the header fields
-// translation needs, not a full decode/encode), transfers contiguous
-// runs with PushSpan, and rings the NSM doorbell once.
-func (ep *enginePair) pumpVM() {
-	ep.vmScheduled = false
+// pumpVM drains the shard's VM job queue into its NSM job queue in
+// batches, translating <VM ID, fd> to <NSM ID, cID> via the shard's
+// slice of the mapping table. Each span pops with one atomic add,
+// translates in place (per element — the mapping table must be
+// consulted — but touching only the header fields translation needs,
+// not a full decode/encode), transfers contiguous runs with PushSpan,
+// and rings the NSM doorbell once.
+func (sh *pairShard) pumpVM() {
+	sh.vmScheduled = false
+	ep := sh.ep
 	ce := ep.engine
 	count := 0
 
 	// Retry previously stalled elements first to preserve order.
-	for len(ep.stalledToNSM) > 0 {
-		e := ep.stalledToNSM[0]
-		if !ep.ch.NSMJob.Push(&e) {
+	for len(sh.stalledToNSM) > 0 {
+		e := sh.stalledToNSM[0]
+		if !sh.rings.NSMJob.Push(&e) {
 			break
 		}
-		ep.stalledToNSM = ep.stalledToNSM[1:]
+		sh.stalledToNSM = sh.stalledToNSM[1:]
 		count++
 	}
-	for len(ep.stalledToNSM) == 0 {
-		span, n := ep.ch.VMJob.FrontSpan(ce.cfg.Batch)
+	for len(sh.stalledToNSM) == 0 {
+		span, n := sh.rings.VMJob.FrontSpan(ce.cfg.Batch)
 		if n == 0 {
 			break
 		}
-		handled, moved := ep.translateSpanToNSM(span, n)
+		handled, moved := sh.translateSpanToNSM(span, n)
 		count += moved
-		ep.ch.VMJob.ReleaseSpan(handled)
-		if len(ep.stalledToNSM) > 0 || handled < n {
+		sh.rings.VMJob.ReleaseSpan(handled)
+		if len(sh.stalledToNSM) > 0 || handled < n {
 			break // destination full: the rest waits for the next pump
 		}
 	}
 
-	if count > 0 || len(ep.stalledToNSM) > 0 {
+	if count > 0 || len(sh.stalledToNSM) > 0 {
 		ce.stats.NqesVMToNSM += uint64(count)
 		cost := time.Duration(count) * ce.cfg.NqeCopyCost
 		ce.clock.AfterFunc(ep.notify+cost, func() {
 			if ep.ch.KickNSM != nil {
-				ep.ch.KickNSM()
+				ep.ch.KickNSM(sh.idx)
 			}
 			// Stalled elements need another pump once the NSM drains.
-			if len(ep.stalledToNSM) > 0 {
-				ep.kickVM()
+			if len(sh.stalledToNSM) > 0 {
+				sh.kickVM()
 			}
 		})
 	}
@@ -231,33 +314,33 @@ func (ep *enginePair) pumpVM() {
 // dropped, or stalled) and how many were pushed. When the NSM job queue
 // fills mid-run, the already-translated remainder of the run is decoded
 // into stalledToNSM so nothing is lost or reordered.
-func (ep *enginePair) translateSpanToNSM(span []byte, n int) (handled, moved int) {
-	ce := ep.engine
+func (sh *pairShard) translateSpanToNSM(span []byte, n int) (handled, moved int) {
+	ce := sh.ep.engine
 	i := 0
 	for i < n {
 		// Grow a contiguous run of translatable slots.
 		runStart := i
 		for i < n {
 			s := nqe.Slot(span[i*nqe.Size : (i+1)*nqe.Size])
-			if s.Validate() != nil || s.VMID() != ep.vmID {
+			if s.Validate() != nil || s.VMID() != sh.ep.vmID {
 				ce.stats.BadElements++
 				break
 			}
-			if !ep.translateSlotToNSM(s) {
+			if !sh.translateSlotToNSM(s) {
 				break
 			}
 			i++
 		}
 		if i > runStart {
 			run := span[runStart*nqe.Size : i*nqe.Size]
-			got := ep.ch.NSMJob.PushSpan(run)
+			got := sh.rings.NSMJob.PushSpan(run)
 			moved += got
 			if got < i-runStart {
 				// NSM job queue full: stall the translated remainder.
 				for j := runStart + got; j < i; j++ {
 					var e nqe.Element
 					e.Decode(span[j*nqe.Size:])
-					ep.stalledToNSM = append(ep.stalledToNSM, e)
+					sh.stalledToNSM = append(sh.stalledToNSM, e)
 				}
 				return i, moved
 			}
@@ -272,16 +355,21 @@ func (ep *enginePair) translateSpanToNSM(span []byte, n int) (handled, moved int
 // translateSlotToNSM patches one job element in place for the NSM side.
 // It reports false when the element must be dropped (the VM has already
 // been answered with an error completion where appropriate).
-func (ep *enginePair) translateSlotToNSM(s nqe.Slot) bool {
+func (sh *pairShard) translateSlotToNSM(s nqe.Slot) bool {
+	ep := sh.ep
 	ce := ep.engine
 	s.SetNSMID(ep.nsmID)
 	switch s.Op() {
 	case nqe.OpSocket:
 		// The cID does not exist yet; remember the fd for the
 		// completion.
-		ep.pendingFD[s.Seq()] = s.FD()
+		sh.mu.Lock()
+		sh.pendingFD[s.Seq()] = s.FD()
+		sh.mu.Unlock()
 	default:
-		cid, ok := ep.fdToCID[s.FD()]
+		sh.mu.Lock()
+		cid, ok := sh.fdToCID[s.FD()]
+		sh.mu.Unlock()
 		if !ok {
 			// Unknown descriptor: answer the VM with an error. The data
 			// offset in a rejected element is guest-controlled and cannot
@@ -290,7 +378,7 @@ func (ep *enginePair) translateSlotToNSM(s nqe.Slot) bool {
 			// transfer. Any real chunk behind a bogus send stays charged
 			// to the misbehaving guest's own credit.
 			ce.stats.BadElements++
-			ep.pushToVM(nqe.Element{
+			sh.pushToVM(nqe.Element{
 				Op: s.Op(), FD: s.FD(), Seq: s.Seq(), VMID: ep.vmID,
 				Source: nqe.FromCore, Status: nqe.StatusInvalid,
 				Flags: nqe.FlagCompletion,
@@ -306,39 +394,41 @@ func (ep *enginePair) translateSlotToNSM(s nqe.Slot) bool {
 	return true
 }
 
-// pumpNSM drains the NSM completion and receive queues toward the VM in
-// batches, translating <NSM ID, cID> back to <VM ID, fd> in place.
-func (ep *enginePair) pumpNSM() {
-	ep.nsmScheduled = false
+// pumpNSM drains the shard's NSM completion and receive queues toward
+// the VM in batches, translating <NSM ID, cID> back to <VM ID, fd> in
+// place.
+func (sh *pairShard) pumpNSM() {
+	sh.nsmScheduled = false
+	ep := sh.ep
 	ce := ep.engine
 	count := 0
 
-	for len(ep.stalledToVM) > 0 {
-		s := ep.stalledToVM[0]
-		if !ep.pushToVM(s.e, s.completion) {
+	for len(sh.stalledToVM) > 0 {
+		s := sh.stalledToVM[0]
+		if !sh.pushToVM(s.e, s.completion) {
 			break
 		}
-		ep.stalledToVM = ep.stalledToVM[1:]
+		sh.stalledToVM = sh.stalledToVM[1:]
 		count++
 	}
 
-	count += ep.drainNSMQueue(ep.ch.NSMCompletion, ep.ch.VMCompletion, true)
-	count += ep.drainNSMQueue(ep.ch.NSMReceive, ep.ch.VMReceive, false)
+	count += sh.drainNSMQueue(sh.rings.NSMCompletion, sh.rings.VMCompletion, true)
+	count += sh.drainNSMQueue(sh.rings.NSMReceive, sh.rings.VMReceive, false)
 
-	if count > 0 || len(ep.stalledToVM) > 0 {
+	if count > 0 || len(sh.stalledToVM) > 0 {
 		ce.stats.NqesNSMToVM += uint64(count)
 		cost := time.Duration(count) * ce.cfg.NqeCopyCost
 		ce.clock.AfterFunc(ep.notify+cost, func() {
 			if ep.ch.KickVM != nil {
-				ep.ch.KickVM()
+				ep.ch.KickVM(sh.idx)
 			}
 			// Draining the NSM-side rings may have unblocked stalled
 			// ServiceLib emissions; give it a chance to refill.
 			if ep.ch.KickNSM != nil {
-				ep.ch.KickNSM()
+				ep.ch.KickNSM(sh.idx)
 			}
-			if len(ep.stalledToVM) > 0 {
-				ep.kickNSM()
+			if len(sh.stalledToVM) > 0 {
+				sh.kickNSM()
 			}
 		})
 	}
@@ -348,21 +438,21 @@ func (ep *enginePair) pumpNSM() {
 // VM-side peer, translating in place, and returns how many elements
 // moved. It stops (leaving work queued or stalled) when the VM-side
 // queue fills.
-func (ep *enginePair) drainNSMQueue(src, dst nkqueue.Q, completion bool) int {
-	ce := ep.engine
+func (sh *pairShard) drainNSMQueue(src, dst nkqueue.Q, completion bool) int {
+	ce := sh.ep.engine
 	moved := 0
-	for len(ep.stalledToVM) == 0 {
+	for len(sh.stalledToVM) == 0 {
 		span, n := src.FrontSpan(ce.cfg.Batch)
 		if n == 0 {
 			break
 		}
 		handled := 0
-		for handled < n && len(ep.stalledToVM) == 0 {
+		for handled < n && len(sh.stalledToVM) == 0 {
 			// Grow a contiguous run of translatable slots.
 			runStart := handled
 			for handled < n {
 				s := nqe.Slot(span[handled*nqe.Size : (handled+1)*nqe.Size])
-				if !ep.translateSlotToVM(s) {
+				if !sh.translateSlotToVM(s) {
 					break
 				}
 				handled++
@@ -376,7 +466,7 @@ func (ep *enginePair) drainNSMQueue(src, dst nkqueue.Q, completion bool) int {
 					for j := runStart + got; j < handled; j++ {
 						var e nqe.Element
 						e.Decode(span[j*nqe.Size:])
-						ep.stalledToVM = append(ep.stalledToVM, stalledOut{e, completion})
+						sh.stalledToVM = append(sh.stalledToVM, stalledOut{e, completion})
 					}
 					break
 				}
@@ -385,33 +475,65 @@ func (ep *enginePair) drainNSMQueue(src, dst nkqueue.Q, completion bool) int {
 			}
 		}
 		src.ReleaseSpan(handled)
-		if handled < n || len(ep.stalledToVM) > 0 {
+		if handled < n || len(sh.stalledToVM) > 0 {
 			break
 		}
 	}
 	return moved
 }
 
+// lookupListenerFD resolves a listener's cID to its guest fd, checking
+// this shard first and then its siblings in ascending order. Accepted
+// connections hash to their own shard, which is rarely the listener's:
+// the OpNewConn control element is the one place a pump may read
+// another shard's table slice (one lock at a time, never nested).
+func (sh *pairShard) lookupListenerFD(cid uint32) (int32, bool) {
+	sh.mu.Lock()
+	fd, ok := sh.cidToFD[cid]
+	sh.mu.Unlock()
+	if ok {
+		return fd, true
+	}
+	for _, other := range sh.ep.shards {
+		if other == sh {
+			continue
+		}
+		other.mu.Lock()
+		fd, ok = other.cidToFD[cid]
+		other.mu.Unlock()
+		if ok {
+			return fd, true
+		}
+	}
+	return 0, false
+}
+
 // translateSlotToVM patches one NSM-side element in place for the VM,
-// maintaining the fd↔cID mapping table exactly as the per-element path
-// did. It reports false when the element must be dropped.
-func (ep *enginePair) translateSlotToVM(s nqe.Slot) bool {
+// maintaining the shard's fd↔cID mapping exactly as the per-element
+// path did. It reports false when the element must be dropped.
+func (sh *pairShard) translateSlotToVM(s nqe.Slot) bool {
+	ep := sh.ep
 	ce := ep.engine
 	s.SetVMID(ep.vmID)
 	switch s.Op() {
 	case nqe.OpSocket:
 		// Completion of a socket creation: install the mapping.
-		fd, ok := ep.pendingFD[s.Seq()]
+		sh.mu.Lock()
+		fd, ok := sh.pendingFD[s.Seq()]
 		if !ok {
+			sh.mu.Unlock()
 			ce.stats.BadElements++
 			return false
 		}
-		delete(ep.pendingFD, s.Seq())
-		ep.fdToCID[fd] = s.CID()
-		ep.cidToFD[s.CID()] = fd
+		delete(sh.pendingFD, s.Seq())
+		sh.fdToCID[fd] = s.CID()
+		sh.cidToFD[s.CID()] = fd
+		sh.mu.Unlock()
 		s.SetFD(fd)
 	case nqe.OpConnClosed:
-		fd, ok := ep.cidToFD[s.CID()]
+		sh.mu.Lock()
+		fd, ok := sh.cidToFD[s.CID()]
+		sh.mu.Unlock()
 		if !ok {
 			ce.stats.BadElements++
 			return false
@@ -422,13 +544,19 @@ func (ep *enginePair) translateSlotToVM(s nqe.Slot) bool {
 		// translate), so long-lived pairs do not accumulate entries.
 		cid := s.CID()
 		ce.clock.AfterFunc(ce.cfg.MappingGrace, func() {
-			delete(ep.fdToCID, fd)
-			delete(ep.cidToFD, cid)
+			sh.mu.Lock()
+			delete(sh.fdToCID, fd)
+			delete(sh.cidToFD, cid)
+			sh.mu.Unlock()
 		})
 	case nqe.OpNewConn:
 		// A new accepted flow: mint a descriptor for the VM and map it
-		// to the NSM's new cID (carried in Arg1).
-		lfd, ok := ep.cidToFD[s.CID()]
+		// to the NSM's new cID (carried in Arg1). The event rides the
+		// NEW flow's shard; the listener usually lives on another, so
+		// the lookup may cross shards — the mapping installs here, on
+		// the flow's home shard, where every later element will look
+		// it up.
+		lfd, ok := sh.lookupListenerFD(s.CID())
 		if !ok {
 			ce.stats.BadElements++
 			return false
@@ -436,12 +564,16 @@ func (ep *enginePair) translateSlotToVM(s nqe.Slot) bool {
 		newCID := uint32(s.Arg1())
 		newFD := ep.nextFD
 		ep.nextFD++
-		ep.fdToCID[newFD] = newCID
-		ep.cidToFD[newCID] = newFD
+		sh.mu.Lock()
+		sh.fdToCID[newFD] = newCID
+		sh.cidToFD[newCID] = newFD
+		sh.mu.Unlock()
 		s.SetFD(lfd)
 		s.SetArg1(uint64(uint32(newFD)))
 	default:
-		fd, ok := ep.cidToFD[s.CID()]
+		sh.mu.Lock()
+		fd, ok := sh.cidToFD[s.CID()]
+		sh.mu.Unlock()
 		if !ok {
 			ce.stats.BadElements++
 			return false
@@ -474,86 +606,104 @@ func (ep *enginePair) reset(readyAt sim.Time) {
 	ce := ep.engine
 	ce.stats.NSMResets++
 	ep.readyAt = readyAt
+	// Shards reset in ascending order so crash notifications replay
+	// deterministically.
+	for _, sh := range ep.shards {
+		sh.reset()
+	}
+	ce.clock.AfterFunc(ep.notify, func() {
+		if ep.ch.KickVM != nil {
+			for _, sh := range ep.shards {
+				ep.ch.KickVM(sh.idx)
+			}
+		}
+	})
+}
+
+func (sh *pairShard) reset() {
+	ep := sh.ep
+	ce := ep.engine
 
 	// The module's queues die with it. NSM-side output queues hold
 	// events the module produced before crashing; the NSM job queue
 	// holds work it never got to. Both are gone — only the data chunks
 	// survive, back into the pool.
-	ep.discardQueue(ep.ch.NSMCompletion)
-	ep.discardQueue(ep.ch.NSMReceive)
-	ep.discardQueue(ep.ch.NSMJob)
-	for i := range ep.stalledToNSM {
-		ep.freeChunk(&ep.stalledToNSM[i])
+	sh.discardQueue(sh.rings.NSMCompletion)
+	sh.discardQueue(sh.rings.NSMReceive)
+	sh.discardQueue(sh.rings.NSMJob)
+	for i := range sh.stalledToNSM {
+		sh.freeChunk(&sh.stalledToNSM[i])
 	}
-	ce.stats.DiscardedElements += uint64(len(ep.stalledToNSM))
-	ep.stalledToNSM = nil
-	for i := range ep.stalledToVM {
-		ep.freeChunk(&ep.stalledToVM[i].e)
+	ce.stats.DiscardedElements += uint64(len(sh.stalledToNSM))
+	sh.stalledToNSM = nil
+	for i := range sh.stalledToVM {
+		sh.freeChunk(&sh.stalledToVM[i].e)
 	}
-	ce.stats.DiscardedElements += uint64(len(ep.stalledToVM))
-	ep.stalledToVM = nil
+	ce.stats.DiscardedElements += uint64(len(sh.stalledToVM))
+	sh.stalledToVM = nil
 
 	// Socket jobs already forwarded will never complete: answer them
 	// with error completions so the guest's deferred operations fail
 	// fast instead of wedging. Sorted for deterministic replay.
-	seqs := make([]uint64, 0, len(ep.pendingFD))
-	for seq := range ep.pendingFD {
+	sh.mu.Lock()
+	seqs := make([]uint64, 0, len(sh.pendingFD))
+	for seq := range sh.pendingFD {
 		seqs = append(seqs, seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	pending := make(map[uint64]int32, len(sh.pendingFD))
+	for seq, fd := range sh.pendingFD {
+		pending[seq] = fd
+	}
+	sh.pendingFD = make(map[uint64]int32)
+	// Every mapped connection died with the module: collect the fds to
+	// tell each guest socket it was reset.
+	fds := make([]int32, 0, len(sh.fdToCID))
+	for fd := range sh.fdToCID {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	sh.fdToCID = make(map[int32]uint32)
+	sh.cidToFD = make(map[uint32]int32)
+	sh.mu.Unlock()
+
 	for _, seq := range seqs {
-		ep.deliverOrStall(nqe.Element{
-			Op: nqe.OpSocket, FD: ep.pendingFD[seq], Seq: seq,
+		sh.deliverOrStall(nqe.Element{
+			Op: nqe.OpSocket, FD: pending[seq], Seq: seq,
 			Source: nqe.FromCore, Status: nqe.StatusConnReset,
 			Flags: nqe.FlagCompletion,
 		}, true)
 	}
-	ep.pendingFD = make(map[uint64]int32)
-
-	// Every mapped connection died with the module: tell each guest
-	// socket it was reset.
-	fds := make([]int32, 0, len(ep.fdToCID))
-	for fd := range ep.fdToCID {
-		fds = append(fds, fd)
-	}
-	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
 	for _, fd := range fds {
-		ep.deliverOrStall(nqe.Element{
+		sh.deliverOrStall(nqe.Element{
 			Op: nqe.OpConnClosed, FD: fd,
 			Source: nqe.FromCore, Status: nqe.StatusConnReset,
 		}, false)
 	}
 	ce.stats.ResetConns += uint64(len(fds))
-	ep.fdToCID = make(map[int32]uint32)
-	ep.cidToFD = make(map[uint32]int32)
 
 	// Wake the guest to process the notifications now — the boot gate
 	// only holds back queue pumping, not crash reporting.
-	ep.ch.VMCompletion.Flush()
-	ep.ch.VMReceive.Flush()
-	ce.clock.AfterFunc(ep.notify, func() {
-		if ep.ch.KickVM != nil {
-			ep.ch.KickVM()
-		}
-	})
+	sh.rings.VMCompletion.Flush()
+	sh.rings.VMReceive.Flush()
 }
 
 // deliverOrStall pushes a reset notification to the VM, parking it in
 // the stalled buffer when the queue is full (pumpNSM retries it).
-func (ep *enginePair) deliverOrStall(e nqe.Element, completion bool) {
-	if len(ep.stalledToVM) > 0 || !ep.pushToVM(e, completion) {
-		ep.stalledToVM = append(ep.stalledToVM, stalledOut{e, completion})
-		ep.kickNSM()
+func (sh *pairShard) deliverOrStall(e nqe.Element, completion bool) {
+	if len(sh.stalledToVM) > 0 || !sh.pushToVM(e, completion) {
+		sh.stalledToVM = append(sh.stalledToVM, stalledOut{e, completion})
+		sh.kickNSM()
 	}
 }
 
 // discardQueue drains a queue the crashed module owned, returning any
 // huge-page data chunks carried by the discarded elements.
-func (ep *enginePair) discardQueue(q nkqueue.Q) {
+func (sh *pairShard) discardQueue(q nkqueue.Q) {
 	var e nqe.Element
 	for q.Pop(&e) {
-		ep.freeChunk(&e)
-		ep.engine.stats.DiscardedElements++
+		sh.freeChunk(&e)
+		sh.ep.engine.stats.DiscardedElements++
 	}
 }
 
@@ -563,20 +713,20 @@ func (ep *enginePair) discardQueue(q nkqueue.Q) {
 // OpNewData event owns its chunk until the guest copies it out. An
 // OpSend *completion* (NSM-sourced) echoes DataLen but its chunk was
 // already freed when the module consumed the data.
-func (ep *enginePair) freeChunk(e *nqe.Element) {
+func (sh *pairShard) freeChunk(e *nqe.Element) {
 	owns := (e.Op == nqe.OpSend && e.Source == nqe.FromVM) ||
 		(e.Op == nqe.OpNewData && e.Source == nqe.FromNSM)
 	if owns && e.DataLen > 0 {
-		ep.ch.Pages.Free(shm.Chunk{Offset: e.DataOff})
+		sh.ep.ch.Pages.Free(shm.Chunk{Offset: e.DataOff})
 	}
 	// A discarded element's span will never complete; abandon it.
-	ep.engine.cfg.Tracer.Drop(e.Trace)
+	sh.ep.engine.cfg.Tracer.Drop(e.Trace)
 }
 
-func (ep *enginePair) pushToVM(e nqe.Element, completion bool) bool {
-	e.VMID = ep.vmID
+func (sh *pairShard) pushToVM(e nqe.Element, completion bool) bool {
+	e.VMID = sh.ep.vmID
 	if completion {
-		return ep.ch.VMCompletion.Push(&e)
+		return sh.rings.VMCompletion.Push(&e)
 	}
-	return ep.ch.VMReceive.Push(&e)
+	return sh.rings.VMReceive.Push(&e)
 }

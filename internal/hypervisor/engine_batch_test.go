@@ -39,7 +39,7 @@ func installMapping(t *testing.T, loop *sim.Loop, ch *nkchan.Pair, vmID uint32, 
 	if !ch.VMJob.Push(&sock) {
 		t.Fatal("push socket job")
 	}
-	ch.KickEngineVM()
+	ch.KickEngineVM(0)
 	loop.RunFor(10 * time.Millisecond)
 	var got nqe.Element
 	if !ch.NSMJob.Pop(&got) || got.Op != nqe.OpSocket {
@@ -49,7 +49,7 @@ func installMapping(t *testing.T, loop *sim.Loop, ch *nkchan.Pair, vmID uint32, 
 	if !ch.NSMCompletion.Push(&comp) {
 		t.Fatal("push socket completion")
 	}
-	ch.KickEngineNSM()
+	ch.KickEngineNSM(0)
 	loop.RunFor(10 * time.Millisecond)
 	if !ch.VMCompletion.Pop(&got) || got.FD != fd {
 		t.Fatalf("socket completion came back as %+v", got)
@@ -72,7 +72,7 @@ func TestEngineBatchHalfFitsStallsAndDrains(t *testing.T) {
 			t.Fatalf("push %d failed", i)
 		}
 	}
-	ch.KickEngineVM()
+	ch.KickEngineVM(0)
 
 	var got []nqe.Element
 	for drained := 0; drained < 10 && len(got) < total; drained++ {
@@ -81,7 +81,7 @@ func TestEngineBatchHalfFitsStallsAndDrains(t *testing.T) {
 		for ch.NSMJob.Pop(&e) {
 			got = append(got, e)
 		}
-		ch.KickEngineVM() // NSM ring drained; let the engine retry stalls
+		ch.KickEngineVM(0) // NSM ring drained; let the engine retry stalls
 	}
 	if len(got) != total {
 		t.Fatalf("got %d of %d elements through the 8-slot ring", len(got), total)
@@ -113,7 +113,7 @@ func TestEngineBatchDropsBadElementMidSpan(t *testing.T) {
 	ch.VMJob.Push(&spoofed)
 	ch.VMJob.Push(&good2)
 	before := ce.Stats().BadElements
-	ch.KickEngineVM()
+	ch.KickEngineVM(0)
 	loop.RunFor(10 * time.Millisecond)
 
 	var e nqe.Element
@@ -145,7 +145,7 @@ func TestEngineBatchUnknownFDMidSpan(t *testing.T) {
 	ch.VMJob.Push(&a)
 	ch.VMJob.Push(&bogus)
 	ch.VMJob.Push(&b)
-	ch.KickEngineVM()
+	ch.KickEngineVM(0)
 	loop.RunFor(10 * time.Millisecond)
 
 	var e nqe.Element
@@ -177,7 +177,7 @@ func TestEngineBatchNSMToVMBackpressure(t *testing.T) {
 			t.Fatalf("push event %d failed", i)
 		}
 	}
-	ch.KickEngineNSM()
+	ch.KickEngineNSM(0)
 
 	var got []nqe.Element
 	for drained := 0; drained < 10 && len(got) < total; drained++ {
@@ -186,7 +186,7 @@ func TestEngineBatchNSMToVMBackpressure(t *testing.T) {
 		for ch.VMReceive.Pop(&e) {
 			got = append(got, e)
 		}
-		ch.KickEngineNSM()
+		ch.KickEngineNSM(0)
 	}
 	if len(got) != total {
 		t.Fatalf("got %d of %d events through the 8-slot ring", len(got), total)

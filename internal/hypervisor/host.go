@@ -38,6 +38,16 @@ type HostConfig struct {
 	Engine EngineConfig
 	// Chan configures VM↔NSM channels.
 	Chan nkchan.Config
+	// Shards turns on the multi-queue datapath (the journal version's
+	// multi-core NSM): every VM↔NSM channel gets this many ring-set
+	// shards (unless Chan.Shards overrides it), each NSM stack shards
+	// its connection table RxShards-wise with RSS flow steering, and
+	// flows stay pinned to their shard for life. 0 (the default) is the
+	// conference paper's single-queue channel with legacy core
+	// steering; 1 models a single-queue NSM whose flows all share core
+	// 0 — the scale-out baseline. Fixed for the host's lifetime: NSM
+	// restarts reboot with the same shard count.
+	Shards int
 
 	// TCP knobs inherited by every stack on the host.
 	MinRTO            time.Duration
@@ -111,6 +121,9 @@ func NewHost(cfg HostConfig) *Host {
 	if cfg.MaskBits == 0 {
 		cfg.MaskBits = 8
 	}
+	if cfg.Chan.Shards <= 0 && cfg.Shards > 1 {
+		cfg.Chan.Shards = cfg.Shards
+	}
 	h := &Host{
 		cfg:   cfg,
 		clock: cfg.Clock,
@@ -171,22 +184,33 @@ func (h *Host) registerHostMetrics() {
 // under "vm<id>.r<replica>.".
 func (h *Host) registerPairMetrics(vmID uint32, replica int, pair *nkchan.Pair) {
 	scope := h.Metrics.Scope(fmt.Sprintf("vm%d.r%d.", vmID, replica))
-	queues := []struct {
-		name string
-		q    nkqueue.Q
-	}{
-		{"vm_job", pair.VMJob}, {"vm_completion", pair.VMCompletion}, {"vm_receive", pair.VMReceive},
-		{"nsm_job", pair.NSMJob}, {"nsm_completion", pair.NSMCompletion}, {"nsm_receive", pair.NSMReceive},
-	}
-	for _, ent := range queues {
-		q := ent.q
-		qs := scope.Child("q." + ent.name + ".")
-		qs.GaugeFunc("depth", func() int64 { return int64(q.Len()) })
-		qs.GaugeFunc("pushed", func() int64 { return int64(q.Pushed()) })
-		qs.GaugeFunc("popped", func() int64 { return int64(q.Popped()) })
-		db := q.Doorbell()
-		qs.GaugeFunc("doorbell_rings", func() int64 { return int64(db.Stats().Rings) })
-		qs.GaugeFunc("doorbell_wakeups", func() int64 { return int64(db.Stats().Wakeups) })
+	pair.EnsureShards()
+	for si := range pair.Shards {
+		rings := &pair.Shards[si]
+		// A single-shard channel keeps the original flat names; a
+		// sharded one infixes "s<i>." so every shard's rings are
+		// individually observable (vm1.r0.s2.q.vm_job.depth).
+		shardScope := scope
+		if len(pair.Shards) > 1 {
+			shardScope = scope.Child(fmt.Sprintf("s%d", si))
+		}
+		queues := []struct {
+			name string
+			q    nkqueue.Q
+		}{
+			{"vm_job", rings.VMJob}, {"vm_completion", rings.VMCompletion}, {"vm_receive", rings.VMReceive},
+			{"nsm_job", rings.NSMJob}, {"nsm_completion", rings.NSMCompletion}, {"nsm_receive", rings.NSMReceive},
+		}
+		for _, ent := range queues {
+			q := ent.q
+			qs := shardScope.Child("q." + ent.name + ".")
+			qs.GaugeFunc("depth", func() int64 { return int64(q.Len()) })
+			qs.GaugeFunc("pushed", func() int64 { return int64(q.Pushed()) })
+			qs.GaugeFunc("popped", func() int64 { return int64(q.Popped()) })
+			db := q.Doorbell()
+			qs.GaugeFunc("doorbell_rings", func() int64 { return int64(db.Stats().Rings) })
+			qs.GaugeFunc("doorbell_wakeups", func() int64 { return int64(db.Stats().Wakeups) })
+		}
 	}
 	pages := pair.Pages
 	ps := scope.Child("pages.")
@@ -324,8 +348,9 @@ type NSM struct {
 // Tenants returns how many VMs the module serves.
 func (n *NSM) Tenants() int { return len(n.Services) }
 
-func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU, metrics *telemetry.Scope) stack.Config {
+func (h *Host) stackConfig(name, cc string, cpu *netsim.CPU, rxShards int, metrics *telemetry.Scope) stack.Config {
 	return stack.Config{
+		RxShards:          rxShards,
 		Clock:             h.clock,
 		RNG:               sim.NewRNG(h.rng.Uint64()),
 		Name:              name,
@@ -400,8 +425,10 @@ func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
 		ReadyAt: h.clock.Now().Add(prof.BootTime),
 		host:    h,
 	}
+	// NSM stacks shard their connection tables to match the channel
+	// shard count (Shards <= 0 stays the legacy single-table stack).
 	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu,
-		h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
+		h.cfg.Shards, h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
 	n.attach = h.makeAttachment(func() *stack.Stack { return n.Stack }, ip, spec.SRIOV)
 	n.attach(n.Stack)
 	h.nsms[n.ID] = n
@@ -428,9 +455,12 @@ func (h *Host) RestartNSM(n *NSM) {
 	h.clock.AfterFunc(n.Profile.BootTime, func() {
 		// Registration is last-wins, so the rebooted stack's counters
 		// take over the module's metric names (restarts zero them).
+		// The shard count is the host's fixed one, so the per-shard
+		// "s<i>.conns" gauge names re-register 1:1 — the registry's
+		// name set is identical before and after a reboot.
 		fresh := stack.New(h.stackConfig(
 			fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, n.CC), n.CC, n.CPU,
-			h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
+			h.cfg.Shards, h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
 		n.attach(fresh)
 		n.Stack = fresh
 		for _, svc := range n.Services {
@@ -463,7 +493,7 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 		// OS ships (CUBIC on Linux, C-TCP on Windows, …).
 		vm.Legacy = stack.New(h.stackConfig(
 			fmt.Sprintf("%s/vm%d-%s", h.cfg.Name, vm.ID, cfg.Name),
-			cfg.Profile.DefaultCC(), h.CPU,
+			cfg.Profile.DefaultCC(), h.CPU, 0, /* guests keep the legacy single-table stack */
 			h.Metrics.Scope(fmt.Sprintf("vm%d.stack.", vm.ID))))
 		h.attachStack(vm.Legacy, cfg.IP, false)
 

@@ -370,7 +370,7 @@ func TestEngineRejectsUnknownFD(t *testing.T) {
 	for _, ep := range c.h1.Engine.pairs {
 		bogus := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM, VMID: ep.vmID, FD: 31337, DataLen: 64}
 		ep.ch.VMJob.Push(&bogus)
-		ep.ch.KickEngineVM()
+		ep.ch.KickEngineVM(0)
 	}
 	c.loop.RunFor(50 * time.Millisecond)
 	if c.h1.Engine.Stats().BadElements == 0 {
@@ -386,7 +386,7 @@ func TestEngineRejectsWrongVMID(t *testing.T) {
 	for _, ep := range c.h1.Engine.pairs {
 		bogus := nqe.Element{Op: nqe.OpSocket, Source: nqe.FromVM, VMID: ep.vmID + 77, FD: 3}
 		ep.ch.VMJob.Push(&bogus)
-		ep.ch.KickEngineVM()
+		ep.ch.KickEngineVM(0)
 	}
 	c.loop.RunFor(50 * time.Millisecond)
 	if c.h1.Engine.Stats().BadElements == 0 {

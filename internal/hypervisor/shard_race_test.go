@@ -1,0 +1,155 @@
+package hypervisor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netkernel/internal/guestlib"
+)
+
+// TestShardTablesConcurrentWithChurn is the -race gate for the sharded
+// state: while the event loop churns connections — concurrent accepts,
+// closes, and RSS steering across a 4-shard datapath — a monitoring
+// goroutine hammers every cross-goroutine reader of the sharded
+// structures: the engine's per-shard fd↔cID mappings (Mappings,
+// CheckFlowAffinity), the NSM stacks' sharded connection tables
+// (ConnCount, ShardConnCount), and the per-layer stats surfaces. All of
+// those take the per-shard mutexes or read atomics; a bare map or
+// counter read anywhere in the shard plumbing fails under `go test
+// -race`.
+func TestShardTablesConcurrentWithChurn(t *testing.T) {
+	c := newCluster(t, func(cfg *HostConfig) { cfg.Shards = 4 })
+	vma, vmb := c.nkPair(t, "cubic", "cubic")
+
+	// Echo-close server: read one message, echo it, close — every
+	// connection exercises accept, steer, and teardown.
+	srv := vmb.Guest
+	lfd := srv.Socket(guestlib.Callbacks{})
+	srv.SetCallbacks(lfd, guestlib.Callbacks{OnAcceptable: func() {
+		for {
+			fd, ok := srv.Accept(lfd)
+			if !ok {
+				return
+			}
+			buf := make([]byte, 4096)
+			srv.SetCallbacks(fd, guestlib.Callbacks{OnReadable: func() {
+				n, _ := srv.Recv(fd, buf)
+				if n > 0 {
+					srv.Send(fd, buf[:n])
+					srv.Close(fd)
+				}
+			}})
+		}
+	}})
+	if err := srv.Listen(lfd, 80, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client: keep 16 connection slots busy; every closed connection
+	// immediately respawns, so the mapping and conn tables see constant
+	// insert/delete on all shards.
+	const slots = 16
+	cli := vma.Guest
+	completed := 0
+	var spawn func()
+	spawn = func() {
+		var fd int32
+		fd = cli.Socket(guestlib.Callbacks{
+			OnEstablished: func(err error) {
+				if err != nil {
+					return
+				}
+				cli.Send(fd, []byte("ping"))
+			},
+			OnReadable: func() {
+				buf := make([]byte, 64)
+				_, eof := cli.Recv(fd, buf)
+				if eof {
+					cli.Close(fd)
+				}
+			},
+			OnClose: func(error) {
+				completed++
+				spawn()
+			},
+		})
+		cli.Connect(fd, ipVMB, 80)
+	}
+	for i := 0; i < slots; i++ {
+		spawn()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for _, h := range []*Host{c.h1, c.h2} {
+				_ = h.Engine.Mappings()
+				if err := h.Engine.CheckFlowAffinity(); err != nil {
+					t.Errorf("flow affinity violated mid-churn: %v", err)
+					return
+				}
+			}
+			for _, vm := range []*VM{vma, vmb} {
+				for _, n := range vm.NSMs {
+					total := 0
+					for i := 0; i < n.Stack.RxShards(); i++ {
+						total += n.Stack.ShardConnCount(i)
+					}
+					if all := n.Stack.ConnCount(); total > all+slots {
+						// Shard sums and the total are separate lock
+						// acquisitions, so they may skew by in-flight
+						// churn — but never by more than the live slots.
+						t.Errorf("shard counts tore: sum %d vs total %d", total, all)
+						return
+					}
+				}
+				if rep := vm.CopyReport(); rep.Sub(CopyReport{}) != rep {
+					t.Error("CopyReport not self-consistent")
+					return
+				}
+				for _, svc := range vm.Services {
+					_ = svc.Stats()
+				}
+			}
+		}
+	}()
+
+	// ~150 µs of virtual time per churn round means a few ms of virtual
+	// time already yields hundreds of accept/steer/close cycles; short
+	// chunks keep the wall cost down while the wall-clock monitor
+	// interleaves between them.
+	for i := 0; i < 10; i++ {
+		c.loop.RunFor(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if completed < 4*slots {
+		t.Fatalf("only %d connections completed; churn exercised too little", completed)
+	}
+	if err := c.h2.Engine.CheckFlowAffinity(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 live slots hashed over 4 shards: the server conn table must
+	// actually have spread (shard 0 alone would mean steering is dead).
+	spread := 0
+	for i := 0; i < 4; i++ {
+		if vmb.NSM.Stack.ShardConnCount(i) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("server connections landed on %d of 4 shards; RSS steering looks broken", spread)
+	}
+}

@@ -1,0 +1,92 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"netkernel/internal/guestlib"
+)
+
+func TestShardSmoke(t *testing.T) {
+	c := newCluster(t, func(cfg *HostConfig) { cfg.Shards = 4 })
+	vma, vmb := c.nkPair(t, "cubic", "cubic")
+
+	srvG := vmb.Guest
+	lfd := srvG.Socket(guestlib.Callbacks{})
+	if err := srvG.Listen(lfd, 80, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	cliG := vma.Guest
+	const nconns = 8
+	payload := make([]byte, 20000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < nconns; i++ {
+		cfd := cliG.Socket(guestlib.Callbacks{})
+		if err := cliG.Connect(cfd, ipVMB, 80); err != nil {
+			t.Fatal(err)
+		}
+		fd := cfd
+		cliG.SetCallbacks(fd, guestlib.Callbacks{
+			OnEstablished: func(err error) {
+				if err != nil {
+					t.Errorf("conn %d: %v", fd, err)
+					return
+				}
+				cliG.Send(fd, payload)
+			},
+		})
+	}
+	got := 0
+	c.loop.RunFor(500 * time.Millisecond)
+	for {
+		fd, ok := srvG.Accept(lfd)
+		if !ok {
+			break
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, _ := srvG.Recv(fd, buf)
+			if n <= 0 {
+				break
+			}
+			got += n
+		}
+	}
+	c.loop.RunFor(2 * time.Second)
+	// drain whatever arrived after the first pass
+	for fd := int32(0); fd < 64; fd++ {
+		buf := make([]byte, 65536)
+		for {
+			n, _ := srvG.Recv(fd, buf)
+			if n <= 0 {
+				break
+			}
+			got += n
+		}
+	}
+	if got < nconns*len(payload)/2 {
+		t.Fatalf("received %d bytes, want most of %d", got, nconns*len(payload))
+	}
+	if err := c.h1.Engine.CheckFlowAffinity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.h2.Engine.CheckFlowAffinity(); err != nil {
+		t.Fatal(err)
+	}
+	// With 8 flows over 4 shards, the server NSM's conn table should be
+	// spread beyond shard 0.
+	st := vmb.NSM.Stack
+	if st.RxShards() != 4 {
+		t.Fatalf("RxShards = %d, want 4", st.RxShards())
+	}
+	spread := 0
+	for i := 0; i < 4; i++ {
+		if st.ShardConnCount(i) > 0 {
+			spread++
+		}
+	}
+	t.Logf("server conn shards occupied: %d/4, bytes: %d", spread, got)
+}

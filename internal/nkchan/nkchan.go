@@ -3,6 +3,11 @@
 // completion, and receive queues on each side) plus the huge-page data
 // region. GuestLib owns the VM side, ServiceLib the NSM side, and the
 // CoreEngine shuttles nqes between them.
+//
+// A channel may be sharded (the journal version's multi-queue NSM):
+// each shard owns a full six-ring set, flows are pinned to shards by
+// the vswitch RSS hash, and an element's shard is implied by the rings
+// it rides — the wire format carries no shard field.
 package nkchan
 
 import (
@@ -12,7 +17,7 @@ import (
 
 // Config shapes a channel.
 type Config struct {
-	// Queue configures the six rings.
+	// Queue configures the six rings (per shard).
 	Queue nkqueue.Config
 	// HugePages is the page count of the data region (default 40, the
 	// prototype's allocation).
@@ -20,6 +25,10 @@ type Config struct {
 	// ChunkSize is the data-chunk granularity (default 8 KB, the chunk
 	// size of Figure 4's caption).
 	ChunkSize int
+	// Shards is the number of ring-set shards (default 1, the single-
+	// queue channel of the conference paper). The huge-page region is
+	// shared across shards; ring sets are not.
+	Shards int
 }
 
 func (c *Config) fillDefaults() {
@@ -28,6 +37,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 8 << 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 }
 
@@ -42,64 +54,104 @@ const (
 	Receive
 )
 
-// Pair is the full VM↔NSM channel.
-type Pair struct {
+// Rings is one shard's six queues.
+type Rings struct {
 	// VM-side queues: the VM produces jobs and consumes completions
 	// and receive events.
 	VMJob, VMCompletion, VMReceive nkqueue.Q
 	// NSM-side queues: the NSM consumes jobs and produces completions
 	// and receive events.
 	NSMJob, NSMCompletion, NSMReceive nkqueue.Q
+}
+
+// Pair is the full VM↔NSM channel.
+type Pair struct {
+	// Shard 0's queues, inlined for single-shard callers (tests and
+	// benchmarks build bare Pairs with just these; EnsureShards wraps
+	// them into Shards[0]).
+	VMJob, VMCompletion, VMReceive    nkqueue.Q
+	NSMJob, NSMCompletion, NSMReceive nkqueue.Q
+	// Shards holds every ring set; Shards[0] aliases the fields above.
+	Shards []Rings
 	// Pages is the shared data region, unique per pair (§3.1
-	// isolation).
+	// isolation) and shared by all shards — its own free lists are
+	// already sharded, and AllocOn gives each flow shard affinity.
 	Pages *shm.HugePages
 
-	// Kicks are notification hooks wired by the owners. Each models a
-	// doorbell/batched interrupt in the paper's design (§3.2): a
-	// producer pushes a whole batch, then kicks once, and the consumer
-	// drains the ring in spans rather than taking one interrupt per
-	// nqe. The per-queue shm.Doorbell coalescing (RingN/Flush) tracks
-	// the same batches at the ring level for the notification ablation.
-	KickEngineVM  func() // GuestLib → CoreEngine: VM job queue has work
-	KickEngineNSM func() // ServiceLib → CoreEngine: NSM completion/receive queues have work
-	KickNSM       func() // CoreEngine → ServiceLib: NSM job queue has work
-	KickVM        func() // CoreEngine → GuestLib: VM completion/receive queues have work
+	// Kicks are notification hooks wired by the owners, one doorbell
+	// per shard. Each models a batched interrupt in the paper's design
+	// (§3.2): a producer pushes a whole batch to one shard's ring,
+	// then kicks that shard once, and the consumer drains the ring in
+	// spans rather than taking one interrupt per nqe.
+	KickEngineVM  func(shard int) // GuestLib → CoreEngine: VM job queue has work
+	KickEngineNSM func(shard int) // ServiceLib → CoreEngine: NSM completion/receive queues have work
+	KickNSM       func(shard int) // CoreEngine → ServiceLib: NSM job queue has work
+	KickVM        func(shard int) // CoreEngine → GuestLib: VM completion/receive queues have work
 }
 
 // NewPair allocates the queues and data region.
 func NewPair(cfg Config) (*Pair, error) {
 	cfg.fillDefaults()
-	vm, err := nkqueue.NewSet(cfg.Queue)
-	if err != nil {
-		return nil, err
-	}
-	nsm, err := nkqueue.NewSet(cfg.Queue)
-	if err != nil {
-		return nil, err
-	}
 	pages, err := shm.NewHugePages(cfg.HugePages, cfg.ChunkSize)
 	if err != nil {
 		return nil, err
 	}
-	return &Pair{
-		VMJob: vm.Job, VMCompletion: vm.Completion, VMReceive: vm.Receive,
-		NSMJob: nsm.Job, NSMCompletion: nsm.Completion, NSMReceive: nsm.Receive,
-		Pages: pages,
-	}, nil
+	p := &Pair{Pages: pages, Shards: make([]Rings, cfg.Shards)}
+	for i := range p.Shards {
+		vm, err := nkqueue.NewSet(cfg.Queue)
+		if err != nil {
+			return nil, err
+		}
+		nsm, err := nkqueue.NewSet(cfg.Queue)
+		if err != nil {
+			return nil, err
+		}
+		p.Shards[i] = Rings{
+			VMJob: vm.Job, VMCompletion: vm.Completion, VMReceive: vm.Receive,
+			NSMJob: nsm.Job, NSMCompletion: nsm.Completion, NSMReceive: nsm.Receive,
+		}
+	}
+	p.VMJob, p.VMCompletion, p.VMReceive = p.Shards[0].VMJob, p.Shards[0].VMCompletion, p.Shards[0].VMReceive
+	p.NSMJob, p.NSMCompletion, p.NSMReceive = p.Shards[0].NSMJob, p.Shards[0].NSMCompletion, p.Shards[0].NSMReceive
+	return p, nil
+}
+
+// EnsureShards makes Shards usable on hand-built pairs that only
+// filled the inline shard-0 fields. Owners (engine, guestlib,
+// servicelib) call it on attach.
+func (p *Pair) EnsureShards() {
+	if len(p.Shards) == 0 {
+		p.Shards = []Rings{{
+			VMJob: p.VMJob, VMCompletion: p.VMCompletion, VMReceive: p.VMReceive,
+			NSMJob: p.NSMJob, NSMCompletion: p.NSMCompletion, NSMReceive: p.NSMReceive,
+		}}
+	}
+}
+
+// NumShards returns the channel's shard count.
+func (p *Pair) NumShards() int {
+	if len(p.Shards) == 0 {
+		return 1
+	}
+	return len(p.Shards)
 }
 
 // ChunkSize returns the data-chunk granularity.
 func (p *Pair) ChunkSize() int { return p.Pages.ChunkSize() }
 
 // FlushDoorbells delivers any coalesced doorbell wakeups still pending
-// on all six rings. Producers call it when a burst ends with a partial
-// batch, so BatchedInterrupt mode never strands the tail of a transfer
-// waiting for a batch that will not fill.
+// on every shard's rings. Producers call it when a burst ends with a
+// partial batch, so BatchedInterrupt mode never strands the tail of a
+// transfer waiting for a batch that will not fill.
 func (p *Pair) FlushDoorbells() {
-	for _, q := range []nkqueue.Q{
-		p.VMJob, p.VMCompletion, p.VMReceive,
-		p.NSMJob, p.NSMCompletion, p.NSMReceive,
-	} {
-		q.Flush()
+	p.EnsureShards()
+	for i := range p.Shards {
+		r := &p.Shards[i]
+		for _, q := range []nkqueue.Q{
+			r.VMJob, r.VMCompletion, r.VMReceive,
+			r.NSMJob, r.NSMCompletion, r.NSMReceive,
+		} {
+			q.Flush()
+		}
 	}
 }

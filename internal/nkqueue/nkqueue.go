@@ -478,3 +478,21 @@ func NewSet(cfg Config) (*Set, error) {
 	}
 	return &Set{Job: job, Completion: comp, Receive: recv}, nil
 }
+
+// NewSets builds n independent queue sets per cfg — one per datapath
+// shard. Each shard of a multi-queue channel owns a full set, so flows
+// pinned to different shards never contend on a ring.
+func NewSets(cfg Config, n int) ([]*Set, error) {
+	if n < 1 {
+		n = 1
+	}
+	sets := make([]*Set, n)
+	for i := range sets {
+		s, err := NewSet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = s
+	}
+	return sets, nil
+}

@@ -26,6 +26,7 @@ import (
 	"netkernel/internal/sim"
 	"netkernel/internal/stack"
 	"netkernel/internal/telemetry"
+	"netkernel/internal/vswitch"
 )
 
 // Config parameterizes a ServiceLib.
@@ -122,7 +123,12 @@ type sendChunk struct {
 }
 
 type connState struct {
-	cid          uint32
+	cid uint32
+	// shard is the channel shard this connection is pinned to: every
+	// nqe the connection ever emits or receives rides this shard's
+	// rings (flow affinity). Dialed connections keep the shard their
+	// OpSocket arrived on; accepted connections hash their 4-tuple.
+	shard        int
 	isDgram      bool
 	conn         *tcp.Conn
 	udp          *stack.UDPSocket // datagram sockets, set at bind
@@ -141,8 +147,9 @@ type connState struct {
 }
 
 type listenerState struct {
-	cid uint32
-	lst *tcp.Listener
+	cid   uint32
+	shard int // the listener socket's own shard (its control traffic)
+	lst   *tcp.Listener
 }
 
 // ServiceLib is one NSM's queue pump and stack driver.
@@ -152,10 +159,10 @@ type ServiceLib struct {
 	listeners map[uint32]*listenerState
 	nextCID   uint32
 	stats     counters
-	// overflow holds emissions that found their ring full; they are
-	// flushed in order on the next pump, so a data flood can delay but
-	// never lose a completion or connection event.
-	overflow []stalledEmit
+	// overflow holds emissions that found their ring full, one queue
+	// per shard; they are flushed in order on the next pump, so a data
+	// flood can delay but never lose a completion or connection event.
+	overflow [][]stalledEmit
 	// drain is the reusable job batch buffer: one pump pops whole ring
 	// spans at a time instead of element by element (§3.2 "batched
 	// interrupts").
@@ -183,15 +190,31 @@ func New(cfg Config) *ServiceLib {
 	if cfg.CoalesceDelay == 0 {
 		cfg.CoalesceDelay = 5 * time.Microsecond
 	}
+	cfg.Pair.EnsureShards()
 	s := &ServiceLib{
 		cfg:       cfg,
 		conns:     make(map[uint32]*connState),
 		listeners: make(map[uint32]*listenerState),
+		overflow:  make([][]stalledEmit, len(cfg.Pair.Shards)),
 		drain:     make([]nqe.Element, 64),
 	}
 	s.stats.register(cfg.Metrics)
 	cfg.Pair.KickNSM = s.pump
 	return s
+}
+
+// nshards returns the channel's shard count.
+func (s *ServiceLib) nshards() int { return len(s.cfg.Pair.Shards) }
+
+// shardForConn pins an accepted connection to a shard by its 4-tuple,
+// with the same canonical hash the stack's frame dispatch uses.
+func (s *ServiceLib) shardForConn(conn *tcp.Conn) int {
+	n := s.nshards()
+	if n <= 1 {
+		return 0
+	}
+	l, r := conn.LocalAddr(), conn.RemoteAddr()
+	return vswitch.ShardOf(vswitch.TupleHash(l.Addr, l.Port, r.Addr, r.Port), n)
 }
 
 // Stats returns a copy of the counters, read atomically.
@@ -200,15 +223,19 @@ func (s *ServiceLib) Stats() Stats { return s.stats.snapshot() }
 // CC returns the module's congestion-control name.
 func (s *ServiceLib) CC() string { return s.cfg.CC }
 
-func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
+func (s *ServiceLib) emit(shard int, q nkchan.QueueKind, e *nqe.Element) {
 	if s.dead {
 		return
 	}
+	if shard < 0 || shard >= s.nshards() {
+		shard = 0
+	}
 	e.NSMID = s.cfg.NSMID
 	e.Source = nqe.FromNSM
-	target := s.cfg.Pair.NSMReceive
+	rings := &s.cfg.Pair.Shards[shard]
+	target := rings.NSMReceive
 	if q == nkchan.Completion {
-		target = s.cfg.Pair.NSMCompletion
+		target = rings.NSMCompletion
 	}
 	// The receive-path span opens here, the mirror of GuestLib.push:
 	// sampled events carry their span id toward the VM. Completions are
@@ -219,12 +246,12 @@ func (s *ServiceLib) emit(q nkchan.QueueKind, e *nqe.Element) {
 		}
 		s.cfg.Tracer.Stamp(e.Trace, "servicelib.emit", int64(target.Len()))
 	}
-	if len(s.overflow) > 0 || !target.Push(e) {
-		s.overflow = append(s.overflow, stalledEmit{kind: q, e: *e})
+	if len(s.overflow[shard]) > 0 || !target.Push(e) {
+		s.overflow[shard] = append(s.overflow[shard], stalledEmit{kind: q, e: *e})
 		s.noteOverflow()
 	}
 	if s.cfg.Pair.KickEngineNSM != nil {
-		s.cfg.Pair.KickEngineNSM()
+		s.cfg.Pair.KickEngineNSM(shard)
 	}
 }
 
@@ -243,30 +270,37 @@ func (s *ServiceLib) noteOverflow() {
 		if s.dead {
 			return
 		}
-		s.flushOverflow()
-		s.cfg.Pair.NSMCompletion.Flush()
-		s.cfg.Pair.NSMReceive.Flush()
-		if len(s.overflow) > 0 {
-			s.noteOverflow()
+		pending := false
+		for shard := range s.overflow {
+			s.flushOverflow(shard)
+			s.cfg.Pair.Shards[shard].NSMCompletion.Flush()
+			s.cfg.Pair.Shards[shard].NSMReceive.Flush()
+			if len(s.overflow[shard]) > 0 {
+				pending = true
+			}
+			if s.cfg.Pair.KickEngineNSM != nil {
+				s.cfg.Pair.KickEngineNSM(shard)
+			}
 		}
-		if s.cfg.Pair.KickEngineNSM != nil {
-			s.cfg.Pair.KickEngineNSM()
+		if pending {
+			s.noteOverflow()
 		}
 	})
 }
 
-// flushOverflow retries stalled emissions in order.
-func (s *ServiceLib) flushOverflow() {
-	for len(s.overflow) > 0 {
-		se := s.overflow[0]
-		target := s.cfg.Pair.NSMReceive
+// flushOverflow retries one shard's stalled emissions in order.
+func (s *ServiceLib) flushOverflow(shard int) {
+	for len(s.overflow[shard]) > 0 {
+		se := s.overflow[shard][0]
+		rings := &s.cfg.Pair.Shards[shard]
+		target := rings.NSMReceive
 		if se.kind == nkchan.Completion {
-			target = s.cfg.Pair.NSMCompletion
+			target = rings.NSMCompletion
 		}
 		if !target.Push(&se.e) {
 			return
 		}
-		s.overflow = s.overflow[1:]
+		s.overflow[shard] = s.overflow[shard][1:]
 	}
 }
 
@@ -274,35 +308,43 @@ func (s *ServiceLib) flushOverflow() {
 // prototype "continuously polls the queues to execute the operations
 // from GuestLib via NetKernel CoreEngine" (§4.1) — under the event
 // executor a kick-driven drain is the batched-interrupt variant.
-func (s *ServiceLib) pump() {
+func (s *ServiceLib) pump(shard int) {
 	if s.dead {
 		return
 	}
-	s.flushOverflow()
+	if shard < 0 || shard >= s.nshards() {
+		shard = 0
+	}
+	rings := &s.cfg.Pair.Shards[shard]
+	s.flushOverflow(shard)
 	for {
-		n := s.cfg.Pair.NSMJob.PopBatch(s.drain)
+		n := rings.NSMJob.PopBatch(s.drain)
 		if n == 0 {
 			break
 		}
 		s.stats.jobsProcessed.Add(uint64(n))
 		for i := range s.drain[:n] {
-			s.handleJob(&s.drain[i])
+			s.handleJob(shard, &s.drain[i])
 		}
 	}
-	s.flushOverflow()
-	if len(s.overflow) > 0 {
+	s.flushOverflow(shard)
+	if len(s.overflow[shard]) > 0 {
 		s.noteOverflow()
 		if s.cfg.Pair.KickEngineNSM != nil {
-			s.cfg.Pair.KickEngineNSM()
+			s.cfg.Pair.KickEngineNSM(shard)
 		}
 	}
 	// The pump produced completions and events; deliver any partial
-	// doorbell batch before going idle.
-	s.cfg.Pair.NSMCompletion.Flush()
-	s.cfg.Pair.NSMReceive.Flush()
+	// doorbell batch before going idle. A handler may have emitted on
+	// a sibling shard (an accept pinning its flow elsewhere), so every
+	// shard's output rings flush.
+	for i := range s.cfg.Pair.Shards {
+		s.cfg.Pair.Shards[i].NSMCompletion.Flush()
+		s.cfg.Pair.Shards[i].NSMReceive.Flush()
+	}
 }
 
-func (s *ServiceLib) handleJob(e *nqe.Element) {
+func (s *ServiceLib) handleJob(shard int, e *nqe.Element) {
 	if e.Trace != 0 {
 		// Send spans stay open until the payload reaches the stack in
 		// pumpSend; every other op's span ends at dispatch.
@@ -316,11 +358,11 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 	case nqe.OpSocket:
 		s.nextCID++
 		cid := s.nextCID
-		s.conns[cid] = &connState{cid: cid, isDgram: e.Arg0 == 1}
-		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSocket, CID: cid, Seq: e.Seq})
+		s.conns[cid] = &connState{cid: cid, shard: shard, isDgram: e.Arg0 == 1}
+		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSocket, CID: cid, Seq: e.Seq})
 
 	case nqe.OpBind:
-		s.handleBind(e)
+		s.handleBind(shard, e)
 
 	case nqe.OpConnect:
 		s.handleConnect(e)
@@ -345,14 +387,14 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 			s.cfg.Pair.Pages.Free(chunk)
 			if cs.udp == nil {
 				s.cfg.Tracer.Drop(e.Trace)
-				s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, Status: nqe.StatusNotConnected})
+				s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, Status: nqe.StatusNotConnected})
 				return
 			}
 			ip, port := nqe.UnpackAddr(e.Arg0)
 			_ = cs.udp.SendTo(ip, port, payload)
 			s.stats.dataIn.Add(uint64(e.DataLen))
 			s.cfg.Tracer.End(e.Trace, "stack.tx")
-			s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, DataLen: e.DataLen, Status: nqe.StatusOK})
+			s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSend, CID: cs.cid, DataLen: e.DataLen, Status: nqe.StatusOK})
 			return
 		}
 		cs.sendQ = append(cs.sendQ, sendChunk{chunk: shm.Chunk{Offset: e.DataOff}, size: int(e.DataLen), trace: e.Trace})
@@ -372,7 +414,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 	case nqe.OpSetSockOpt:
 		cs := s.conns[e.CID]
 		if cs == nil || cs.conn == nil {
-			s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
+			s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
 			return
 		}
 		status := nqe.StatusOK
@@ -385,7 +427,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 		default:
 			status = nqe.StatusNotSupported
 		}
-		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: status})
+		s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSetSockOpt, CID: e.CID, Seq: e.Seq, Status: status})
 
 	case nqe.OpClose:
 		if cs := s.conns[e.CID]; cs != nil && cs.udp != nil {
@@ -393,7 +435,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 			delete(s.conns, e.CID)
 			// UDP has no close handshake: confirm immediately so the
 			// engine retires the fd↔cID mapping instead of leaking it.
-			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
+			s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
 		} else if cs != nil && cs.conn != nil {
 			cs.conn.Close()
 		} else if ls := s.listeners[e.CID]; ls != nil {
@@ -401,7 +443,7 @@ func (s *ServiceLib) handleJob(e *nqe.Element) {
 			delete(s.listeners, e.CID)
 			// Same for listeners: no TCP teardown will ever report this
 			// cID closed, so the mapping must be retired here.
-			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
+			s.emit(ls.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
 		}
 	}
 }
@@ -413,6 +455,7 @@ func (s *ServiceLib) handleConnect(e *nqe.Element) {
 	}
 	ip, port := nqe.UnpackAddr(e.Arg0)
 	cid := cs.cid
+	shard := cs.shard
 	conn, err := s.cfg.Stack.Dial(tcp.AddrPort{Addr: ip, Port: port}, stack.SocketOptions{
 		CC: s.cfg.CC,
 		OnEstablished: func(err error) {
@@ -420,7 +463,7 @@ func (s *ServiceLib) handleConnect(e *nqe.Element) {
 			if err != nil {
 				st = statusFromErr(err)
 			}
-			s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: st})
+			s.emit(shard, nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: st})
 		},
 		OnReadable: func() { s.NewDataCallback(cid) },
 		OnWritable: func() {
@@ -431,7 +474,7 @@ func (s *ServiceLib) handleConnect(e *nqe.Element) {
 		OnClose: func(err error) { s.connClosed(cid, err) },
 	})
 	if err != nil {
-		s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: nqe.StatusInvalid})
+		s.emit(shard, nkchan.Receive, &nqe.Element{Op: nqe.OpEstablished, CID: cid, Status: nqe.StatusInvalid})
 		return
 	}
 	cs.conn = conn
@@ -451,11 +494,11 @@ func (s *ServiceLib) handleListen(e *nqe.Element) {
 	if err != nil {
 		status = nqe.StatusAddrInUse
 	}
-	s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpListen, CID: e.CID, Seq: e.Seq, Status: status})
+	s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpListen, CID: e.CID, Seq: e.Seq, Status: status})
 	if err != nil {
 		return
 	}
-	ls := &listenerState{cid: e.CID, lst: lst}
+	ls := &listenerState{cid: e.CID, shard: cs.shard, lst: lst}
 	s.listeners[e.CID] = ls
 	delete(s.conns, e.CID) // the cid now names a listener
 	lst.OnAcceptable = func() { s.NewAcceptCallback(ls) }
@@ -464,36 +507,37 @@ func (s *ServiceLib) handleListen(e *nqe.Element) {
 // handleBind binds a datagram socket's UDP port and installs the
 // receive path: arriving datagrams go straight into huge-page chunks
 // and OpNewData events carrying the source address.
-func (s *ServiceLib) handleBind(e *nqe.Element) {
+func (s *ServiceLib) handleBind(shard int, e *nqe.Element) {
 	cs := s.conns[e.CID]
 	if cs == nil || !cs.isDgram || cs.udp != nil {
-		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
+		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
 		return
 	}
 	cid := cs.cid
+	csShard := cs.shard
 	sock, err := s.cfg.Stack.OpenUDP(uint16(e.Arg0), func(src ipv4.Addr, srcPort uint16, data []byte) {
 		if len(data) > s.cfg.Pair.ChunkSize() {
 			return // cannot represent; drop (UDP semantics)
 		}
-		chunk, ok := s.cfg.Pair.Pages.Alloc()
+		chunk, ok := s.cfg.Pair.Pages.AllocOn(csShard)
 		if !ok {
 			return // pool exhausted; drop (UDP semantics)
 		}
 		s.cfg.Pair.Pages.Write(chunk, data)
 		s.stats.rxBytesCopied.Add(uint64(len(data)))
 		s.stats.dataOut.Add(uint64(len(data)))
-		s.emit(nkchan.Receive, &nqe.Element{
+		s.emit(csShard, nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewData, CID: cid,
 			DataOff: chunk.Offset, DataLen: uint32(len(data)),
 			Arg0: nqe.PackAddr(src, srcPort),
 		})
 	})
 	if err != nil {
-		s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusAddrInUse})
+		s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusAddrInUse})
 		return
 	}
 	cs.udp = sock
-	s.emit(nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusOK, Arg0: uint64(sock.Port())})
+	s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusOK, Arg0: uint64(sock.Port())})
 }
 
 // NewAcceptCallback is the prototype's nk_new_accept_callback: it
@@ -507,7 +551,11 @@ func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
 		}
 		s.nextCID++
 		cid := s.nextCID
-		cs := &connState{cid: cid, conn: conn}
+		// The accepted flow pins to its hash shard for life; its
+		// OpNewConn rides that shard too, so the engine installs the
+		// mapping where every later element of the flow will look it
+		// up, and the shard's FIFO orders the event before the data.
+		cs := &connState{cid: cid, shard: s.shardForConn(conn), conn: conn}
 		s.conns[cid] = cs
 		conn.SetCallbacks(
 			func() { s.NewDataCallback(cid) },
@@ -517,7 +565,7 @@ func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
 		conn.SetReceiveSink(s.makeSink(cs))
 		s.stats.accepts.Inc()
 		remote := conn.RemoteAddr()
-		s.emit(nkchan.Receive, &nqe.Element{
+		s.emit(cs.shard, nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewConn, CID: ls.cid,
 			Arg0: nqe.PackAddr(remote.Addr, remote.Port),
 			Arg1: uint64(cid),
@@ -553,7 +601,7 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 				s.emitRxChunk(cs)
 				if !cs.eofSent {
 					cs.eofSent = true
-					s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+					s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
 				}
 			}
 			return
@@ -568,7 +616,7 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 			s.armRxFlush(cs)
 			return
 		}
-		chunk, ok := s.cfg.Pair.Pages.Alloc()
+		chunk, ok := s.cfg.Pair.Pages.AllocOn(cs.shard)
 		if !ok {
 			return // huge pages exhausted; credits will retrigger
 		}
@@ -578,13 +626,13 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 			s.cfg.Pair.Pages.Free(chunk)
 			if eof && !cs.eofSent {
 				cs.eofSent = true
-				s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+				s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
 			}
 			return
 		}
 		cs.recvDebt += n
 		s.stats.dataOut.Add(uint64(n))
-		s.emit(nkchan.Receive, &nqe.Element{
+		s.emit(cs.shard, nkchan.Receive, &nqe.Element{
 			Op: nqe.OpNewData, CID: cid,
 			DataOff: chunk.Offset, DataLen: uint32(n),
 		})
@@ -610,7 +658,7 @@ func (s *ServiceLib) sinkData(cs *connState, p []byte) int {
 	consumed := 0
 	for len(p) > 0 && cs.recvDebt < s.cfg.RecvWindow {
 		if !cs.rxHave {
-			chunk, ok := s.cfg.Pair.Pages.Alloc()
+			chunk, ok := s.cfg.Pair.Pages.AllocOn(cs.shard)
 			if !ok {
 				break // pool exhausted; remainder buffers in the conn
 			}
@@ -639,7 +687,7 @@ func (s *ServiceLib) emitRxChunk(cs *connState) {
 	}
 	cs.recvDebt += cs.rxFill
 	s.stats.dataOut.Add(uint64(cs.rxFill))
-	s.emit(nkchan.Receive, &nqe.Element{
+	s.emit(cs.shard, nkchan.Receive, &nqe.Element{
 		Op: nqe.OpNewData, CID: cs.cid,
 		DataOff: cs.rxChunk.Offset, DataLen: uint32(cs.rxFill),
 	})
@@ -707,7 +755,7 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 			s.stats.dataIn.Add(uint64(head.size))
 			s.cfg.Tracer.End(head.trace, "stack.tx")
 			pages.Free(chunk) // the queue's reference; the span keeps its own
-			s.emit(nkchan.Completion, &nqe.Element{
+			s.emit(cs.shard, nkchan.Completion, &nqe.Element{
 				Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
 			})
 			cs.sendQ = cs.sendQ[1:]
@@ -727,7 +775,7 @@ func (s *ServiceLib) pumpSend(cs *connState) {
 		}
 		s.cfg.Tracer.End(head.trace, "stack.tx")
 		pages.Free(head.chunk)
-		s.emit(nkchan.Completion, &nqe.Element{
+		s.emit(cs.shard, nkchan.Completion, &nqe.Element{
 			Op: nqe.OpSend, CID: cs.cid, DataLen: uint32(head.size), Status: nqe.StatusOK,
 		})
 		cs.sendQ = cs.sendQ[1:]
@@ -744,7 +792,7 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 	s.deliverData(cid, true)
 	if !cs.eofSent {
 		cs.eofSent = true
-		s.emit(nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: statusFromErr(err)})
+		s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: statusFromErr(err)})
 	}
 	// Release still-queued send chunks. (Chunks already handed to the
 	// conn as spans are released by the conn's own teardown.)
@@ -793,13 +841,15 @@ func (s *ServiceLib) Crash() {
 		cs.conn = nil
 		cs.udp = nil
 	}
-	for _, se := range s.overflow {
-		if se.e.Op == nqe.OpNewData && se.e.DataLen > 0 {
-			s.cfg.Pair.Pages.Free(shm.Chunk{Offset: se.e.DataOff})
+	for shard := range s.overflow {
+		for _, se := range s.overflow[shard] {
+			if se.e.Op == nqe.OpNewData && se.e.DataLen > 0 {
+				s.cfg.Pair.Pages.Free(shm.Chunk{Offset: se.e.DataOff})
+			}
+			s.cfg.Tracer.Drop(se.e.Trace)
 		}
-		s.cfg.Tracer.Drop(se.e.Trace)
+		s.overflow[shard] = nil
 	}
-	s.overflow = nil
 	s.conns = make(map[uint32]*connState)
 	s.listeners = make(map[uint32]*listenerState)
 }
@@ -811,7 +861,9 @@ func (s *ServiceLib) Crash() {
 func (s *ServiceLib) Rebind(st *stack.Stack) {
 	s.cfg.Stack = st
 	s.dead = false
-	s.pump()
+	for shard := range s.cfg.Pair.Shards {
+		s.pump(shard)
+	}
 }
 
 // statusFromErr maps stack errors onto the nqe status space carried

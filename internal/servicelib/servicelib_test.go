@@ -59,7 +59,7 @@ func newHarness(t *testing.T, cc string) *harness {
 
 	// Drain the NSM-side output queues into recording slices, as the
 	// CoreEngine would.
-	pair.KickEngineNSM = func() {
+	pair.KickEngineNSM = func(int) {
 		var e nqe.Element
 		for pair.NSMCompletion.Pop(&e) {
 			h.completions = append(h.completions, e)
@@ -81,7 +81,7 @@ func (h *harness) job(e nqe.Element) {
 	if !h.pair.NSMJob.Push(&e) {
 		panic("job queue full")
 	}
-	h.pair.KickNSM()
+	h.pair.KickNSM(0)
 }
 
 // newSocket issues OpSocket and returns the assigned cID.

@@ -120,7 +120,22 @@ func (h *HugePages) RefCount(c Chunk) int { return int(h.refs[h.index(c)].Load()
 // the remaining shards on a miss, so concurrent allocators spread across
 // the free lists instead of queueing on one lock.
 func (h *HugePages) Alloc() (Chunk, bool) {
-	start := int(h.cursor.Add(1)-1) % len(h.shards)
+	return h.allocFrom(int(h.cursor.Add(1)-1) % len(h.shards))
+}
+
+// AllocOn reserves one chunk preferring the given shard's free list,
+// falling back to work-stealing like Alloc. Sharded datapath layers
+// pass their flow shard here so a connection's chunks cluster on one
+// free list (cache affinity), without perturbing the rotating cursor
+// that unsharded callers share.
+func (h *HugePages) AllocOn(pref int) (Chunk, bool) {
+	if pref < 0 {
+		pref = -pref
+	}
+	return h.allocFrom(pref % len(h.shards))
+}
+
+func (h *HugePages) allocFrom(start int) (Chunk, bool) {
 	for i := 0; i < len(h.shards); i++ {
 		s := &h.shards[(start+i)%len(h.shards)]
 		s.mu.Lock()

@@ -13,6 +13,7 @@ package stack
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"netkernel/internal/netsim"
@@ -23,6 +24,7 @@ import (
 	"netkernel/internal/sim"
 	"netkernel/internal/tcpcc"
 	"netkernel/internal/telemetry"
+	"netkernel/internal/vswitch"
 )
 
 // Config parameterizes a stack.
@@ -43,6 +45,14 @@ type Config struct {
 	// paper's testbed does). Hash steering (the default) is what
 	// commodity RSS gives.
 	RoundRobinCores bool
+	// RxShards, when > 0, runs the stack in sharded (multi-queue NSM)
+	// mode: the TCP connection table is split into RxShards shards
+	// keyed by the canonical vswitch 4-tuple hash, and each frame is
+	// dispatched to CPU core == its flow's shard, so shard i's
+	// connection state is only ever touched from core i. RxShards=1
+	// models a single-queue NSM (every flow on core 0); 0 keeps the
+	// seed's legacy behavior (one table, rssHash core steering).
+	RxShards int
 
 	// DefaultCC names the congestion control used when a dial or
 	// listen does not specify one. Default "cubic" (the Linux default).
@@ -156,10 +166,14 @@ type Stack struct {
 	arpCache *arp.Cache
 	reasm    *ipv4.Reassembler
 
-	conns     map[fourTuple]*tcp.Conn
-	listeners map[uint16]*listenEntry
-	udpSocks  map[uint16]*UDPSocket
-	pings     map[uint32]*pingWaiter
+	// connShards is the TCP connection table, split by flow shard
+	// (one entry in legacy mode). The datapath mutates a shard only
+	// from its own core's dispatch queue; the mutex exists for
+	// management-plane readers (ConnCount, Conns) on other goroutines.
+	connShards []connShard
+	listeners  map[uint16]*listenEntry
+	udpSocks   map[uint16]*UDPSocket
+	pings      map[uint32]*pingWaiter
 
 	ipID     uint16
 	nextPort uint16
@@ -191,6 +205,45 @@ type fourTuple struct {
 	remotePort uint16
 }
 
+// connShard is one shard of the TCP connection table.
+type connShard struct {
+	mu    sync.RWMutex
+	conns map[fourTuple]*tcp.Conn
+}
+
+// shardFor maps a connection key to its table shard — the same
+// canonical hash the frame dispatcher uses, so a flow's segments and
+// its connection state always meet on one shard/core.
+func (s *Stack) shardFor(key fourTuple) *connShard {
+	if len(s.connShards) == 1 {
+		return &s.connShards[0]
+	}
+	h := vswitch.TupleHash(key.localIP, key.localPort, key.remoteIP, key.remotePort)
+	return &s.connShards[vswitch.ShardOf(h, len(s.connShards))]
+}
+
+func (s *Stack) getConn(key fourTuple) (*tcp.Conn, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	c, ok := sh.conns[key]
+	sh.mu.RUnlock()
+	return c, ok
+}
+
+func (s *Stack) putConn(key fourTuple, c *tcp.Conn) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.conns[key] = c
+	sh.mu.Unlock()
+}
+
+func (s *Stack) delConn(key fourTuple) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.conns, key)
+	sh.mu.Unlock()
+}
+
 // New builds a stack.
 func New(cfg Config) *Stack {
 	cfg.fillDefaults()
@@ -200,19 +253,39 @@ func New(cfg Config) *Stack {
 	if cfg.RNG == nil {
 		cfg.RNG = sim.NewRNG(0x5eed)
 	}
+	nshards := cfg.RxShards
+	if nshards < 1 {
+		nshards = 1
+	}
 	s := &Stack{
-		cfg:       cfg,
-		arpCache:  arp.NewCache(cfg.Clock, 0),
-		reasm:     ipv4.NewReassembler(0),
-		conns:     make(map[fourTuple]*tcp.Conn),
-		listeners: make(map[uint16]*listenEntry),
-		udpSocks:  make(map[uint16]*UDPSocket),
-		pings:     make(map[uint32]*pingWaiter),
-		nextPort:  49152,
-		flowCore:  make(map[uint32]int),
+		cfg:        cfg,
+		arpCache:   arp.NewCache(cfg.Clock, 0),
+		reasm:      ipv4.NewReassembler(0),
+		connShards: make([]connShard, nshards),
+		listeners:  make(map[uint16]*listenEntry),
+		udpSocks:   make(map[uint16]*UDPSocket),
+		pings:      make(map[uint32]*pingWaiter),
+		nextPort:   49152,
+		flowCore:   make(map[uint32]int),
+	}
+	for i := range s.connShards {
+		s.connShards[i].conns = make(map[fourTuple]*tcp.Conn)
 	}
 	s.arpCache.Request = s.sendARPRequest
 	s.stats.register(cfg.Metrics)
+	if cfg.Metrics != nil && cfg.RxShards > 0 {
+		// Per-shard live-connection gauges (DESIGN.md §10 naming:
+		// <scope>.s<i>.conns), so steering skew is observable.
+		for i := range s.connShards {
+			sh := &s.connShards[i]
+			cfg.Metrics.GaugeFunc(fmt.Sprintf("s%d.conns", i), func() int64 {
+				sh.mu.RLock()
+				n := len(sh.conns)
+				sh.mu.RUnlock()
+				return int64(n)
+			})
+		}
+	}
 	return s
 }
 
@@ -301,7 +374,16 @@ func (s *Stack) DeliverFrame(frame []byte) {
 		s.processFrame(frame)
 		return
 	}
-	s.cfg.CPU.Dispatch(s.coreFor(rssHash(frame)), s.cfg.PerPacketCost, func() { s.processFrame(frame) })
+	s.cfg.CPU.Dispatch(s.frameCore(frame), s.cfg.PerPacketCost, func() { s.processFrame(frame) })
+}
+
+// frameCore picks the CPU core charged for a frame: the flow's shard
+// in sharded mode (core i owns shard i), else legacy RSS steering.
+func (s *Stack) frameCore(frame []byte) int {
+	if s.cfg.RxShards > 0 {
+		return vswitch.FrameShard(frame, s.cfg.RxShards)
+	}
+	return s.coreFor(rssHash(frame))
 }
 
 // coreFor maps a flow hash to a core: directly (RSS) or via a
@@ -421,7 +503,7 @@ func (s *Stack) sendEthernet(dst ethernet.MAC, typ ethernet.EtherType, payload [
 	copy(frame[ethernet.HeaderLen:], payload)
 	s.stats.framesOut.Inc()
 	if s.cfg.CPU != nil && s.cfg.PerPacketCost > 0 {
-		s.cfg.CPU.Dispatch(s.coreFor(rssHash(frame)), s.cfg.PerPacketCost, func() { s.iface.tx(frame) })
+		s.cfg.CPU.Dispatch(s.frameCore(frame), s.cfg.PerPacketCost, func() { s.iface.tx(frame) })
 		return
 	}
 	s.iface.tx(frame)
@@ -489,18 +571,29 @@ func (s *Stack) Kill() {
 	s.dead = true
 	err := fmt.Errorf("stack %s: killed", s.cfg.Name)
 	// Collect before tearing down: each Kill fires the conn's owner
-	// hook, which deletes from s.conns. Sorted for determinism.
-	keys := make([]fourTuple, 0, len(s.conns))
-	for k := range s.conns {
-		keys = append(keys, k)
+	// hook, which deletes from the table. Sorted globally for
+	// determinism, regardless of which shard a flow lives on.
+	var keys []fourTuple
+	for i := range s.connShards {
+		sh := &s.connShards[i]
+		sh.mu.RLock()
+		for k := range sh.conns {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(keys, func(i, j int) bool { return lessTuple(keys[i], keys[j]) })
 	for _, k := range keys {
-		if c := s.conns[k]; c != nil {
+		if c, ok := s.getConn(k); ok && c != nil {
 			c.Kill(err)
 		}
 	}
-	s.conns = make(map[fourTuple]*tcp.Conn)
+	for i := range s.connShards {
+		sh := &s.connShards[i]
+		sh.mu.Lock()
+		sh.conns = make(map[fourTuple]*tcp.Conn)
+		sh.mu.Unlock()
+	}
 	s.listeners = make(map[uint16]*listenEntry)
 	s.udpSocks = make(map[uint16]*UDPSocket)
 	for _, w := range s.pings {

@@ -41,8 +41,8 @@ func (s *Stack) Dial(remote tcp.AddrPort, opts SocketOptions) (*tcp.Conn, error)
 	key := fourTuple{local.Addr, local.Port, remote.Addr, remote.Port}
 	cfg := s.connConfig(local, remote, cc, opts)
 	conn := tcp.Dial(cfg)
-	conn.SetOwnerHook(func() { delete(s.conns, key) })
-	s.conns[key] = conn
+	conn.SetOwnerHook(func() { s.delConn(key) })
+	s.putConn(key, conn)
 	return conn, nil
 }
 
@@ -65,12 +65,46 @@ func (s *Stack) Listen(port uint16, backlog int, opts SocketOptions) (*tcp.Liste
 func (s *Stack) CloseListener(port uint16) { delete(s.listeners, port) }
 
 // ConnCount returns the number of live TCP connections (monitoring).
-func (s *Stack) ConnCount() int { return len(s.conns) }
+// Safe to call from any goroutine while the data path runs.
+func (s *Stack) ConnCount() int {
+	n := 0
+	for i := range s.connShards {
+		sh := &s.connShards[i]
+		sh.mu.RLock()
+		n += len(sh.conns)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardConnCount returns shard i's live TCP connections (monitoring;
+// 0 for out-of-range shards).
+func (s *Stack) ShardConnCount(i int) int {
+	if i < 0 || i >= len(s.connShards) {
+		return 0
+	}
+	sh := &s.connShards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.conns)
+}
+
+// RxShards returns the configured shard count (0 = legacy mode).
+func (s *Stack) RxShards() int { return s.cfg.RxShards }
 
 // Conns invokes fn for every live connection (monitoring/accounting).
 func (s *Stack) Conns(fn func(c *tcp.Conn)) {
-	for _, c := range s.conns {
-		fn(c)
+	for i := range s.connShards {
+		sh := &s.connShards[i]
+		sh.mu.RLock()
+		conns := make([]*tcp.Conn, 0, len(sh.conns))
+		for _, c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.RUnlock()
+		for _, c := range conns {
+			fn(c)
+		}
 	}
 }
 
@@ -127,7 +161,7 @@ func (s *Stack) processTCP(src ipv4.Addr, seg []byte, ce bool) {
 	}
 	s.stats.tcpSegsIn.Inc()
 	key := fourTuple{s.iface.IP, h.DstPort, src, h.SrcPort}
-	if conn, ok := s.conns[key]; ok {
+	if conn, ok := s.getConn(key); ok {
 		conn.Input(&h, payload, ce)
 		return
 	}
@@ -168,8 +202,8 @@ func (s *Stack) acceptSYN(le *listenEntry, key fourTuple, syn *tcp.Header) {
 	}
 	ecnReq := syn.Flags&tcp.FlagECE != 0 && syn.Flags&tcp.FlagCWR != 0
 	conn = tcp.NewPassive(cfg, syn, ecnReq)
-	conn.SetOwnerHook(func() { delete(s.conns, key) })
-	s.conns[key] = conn
+	conn.SetOwnerHook(func() { s.delConn(key) })
+	s.putConn(key, conn)
 }
 
 // sendRST answers a stray segment per RFC 793 §3.4.
@@ -215,7 +249,7 @@ func (s *Stack) allocPort(remote tcp.AddrPort) (uint16, error) {
 			continue
 		}
 		key := fourTuple{s.iface.IP, p, remote.Addr, remote.Port}
-		if _, used := s.conns[key]; used {
+		if _, used := s.getConn(key); used {
 			continue
 		}
 		return p, nil

@@ -159,6 +159,43 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return c.Load()
 }
 
+// Names returns the sorted names of every registered metric, across
+// all four kinds. Restart-stability tests compare the name set before
+// and after an NSM reboot: last-wins registration must swap metric
+// owners without growing or shrinking it.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+len(r.histos))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.gaugeFns {
+		names = append(names, name)
+	}
+	for name := range r.histos {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// NumMetrics returns the count of registered metric names.
+func (r *Registry) NumMetrics() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.gaugeFns) + len(r.histos)
+}
+
 // Scope returns a registration helper that prefixes every name with
 // prefix + ".". Nil-safe: scoping a nil registry returns a nil scope
 // whose methods are no-ops (hot paths keep their own counters either
