@@ -249,6 +249,21 @@ func BenchmarkScaleout(b *testing.B) {
 	b.SetBytes(int64(moved / uint64(b.N)))
 }
 
+// BenchmarkRPC runs the message-rate measurement (DESIGN.md §11):
+// small-message echo RPS, sparse-activity wakeup amortization
+// (poller vs per-event callbacks), and connect→close churn rate.
+// BENCH_rpc.json records the trajectory and TestRPCGate enforces it
+// in CI.
+func BenchmarkRPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRPC(experiments.RPCConfig{})
+		b.ReportMetric(res.EchoRPS/1e3, "echo-kRPS")
+		b.ReportMetric(res.AmortizationRatio, "wakeup-amortization-x")
+		b.ReportMetric(float64(res.PollerLatency.Nanoseconds())/1e3, "sparse-latency-us")
+		b.ReportMetric(res.ChurnPerSec/1e3, "churn-kconn/s")
+	}
+}
+
 // --- Figure 5: the WAN flexibility experiment (virtual time) ---
 
 func BenchmarkFigure5(b *testing.B) {

@@ -47,11 +47,12 @@ func main() {
 	}
 	run("table1", table1)
 	run("micro", micro)
+	run("rpc", rpc)
 	run("fig4", fig4)
 	run("fig5", fig5)
 	run("ablations", ablations)
 	switch what {
-	case "all", "table1", "micro", "fig4", "fig5", "ablations":
+	case "all", "table1", "micro", "rpc", "fig4", "fig5", "ablations":
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -114,6 +115,26 @@ func micro() {
 	for _, line := range strings.Split(strings.TrimRight(excerpt.String(), "\n"), "\n") {
 		fmt.Println("  " + line)
 	}
+}
+
+func rpc() {
+	header("Message-rate fast path (DESIGN.md §11, BENCH_rpc.json)")
+	cfg := experiments.RPCConfig{Seed: *seed}
+	if *quick {
+		cfg.Conns = 8
+		cfg.Warmup = 5 * time.Millisecond
+		cfg.Window = 10 * time.Millisecond
+		cfg.SparseConns = 500
+		cfg.Bursts = 40
+		cfg.ChurnWindow = 5 * time.Millisecond
+	}
+	res := experiments.RunRPC(cfg)
+	fmt.Printf("echo:   %d conns × %dB closed loop: %.0f RPS (%d round trips)\n",
+		res.Conns, res.MsgBytes, res.EchoRPS, res.RoundTrips)
+	fmt.Printf("sparse: %d conns, poller %d wakeups for %d events vs %d per-event callbacks (%.2fx amortization)\n",
+		res.SparseConns, res.PollerWakeups, res.PollerEvents, res.CallbackWakeups, res.AmortizationRatio)
+	fmt.Printf("        wakeup latency poller=%v callback=%v\n", res.PollerLatency, res.CallbackLatency)
+	fmt.Printf("churn:  %.0f connect→close cycles/s (%d cycles)\n", res.ChurnPerSec, res.ChurnCycles)
 }
 
 func fig4() {

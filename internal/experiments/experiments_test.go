@@ -316,6 +316,76 @@ func TestScaleoutGate(t *testing.T) {
 	}
 }
 
+// TestRPCGate is the message-rate regression gate (DESIGN.md §11):
+// the short-flow fast path — small-message echo RPS, sparse-activity
+// wakeup amortization, connect→close churn rate — must hold the
+// committed BENCH_rpc.json numbers. Virtual time makes every value an
+// exact function of the seed; the gate allows 10% slack on the rates
+// so intentional simulation retuning fails loudly instead of silently
+// rewriting the message-rate story. The amortization bound is the
+// tentpole claim: one coalesced OnReady must replace at least 2
+// per-event callback wakeups under sparse activity (measured: ~7.8).
+// CI's rpc-smoke job runs exactly this test. (The suite simulates
+// ~10k TCP connections yet runs in ~1s of wall time: lazy byte-ring
+// allocation means idle connections never materialize their 1 MiB
+// receive buffers.)
+func TestRPCGate(t *testing.T) {
+	// Baselines from BENCH_rpc.json (seed 4242, defaults: 32 echo conns
+	// × 64 B, 10k sparse conns × 200 bursts of 8, 16 churners × 20 ms).
+	const (
+		baselineRPS      = 531200.0
+		baselineChurn    = 163200.0
+		minAmortization  = 2.0
+		maxSparseLatency = 100 * time.Microsecond
+	)
+	res := RunRPC(RPCConfig{})
+	t.Logf("echo %.0f RPS  wakeups poller=%d callback=%d (%.2fx, %d events)  latency poller=%v callback=%v  churn %.0f conn/s",
+		res.EchoRPS, res.PollerWakeups, res.CallbackWakeups, res.AmortizationRatio,
+		res.PollerEvents, res.PollerLatency, res.CallbackLatency, res.ChurnPerSec)
+
+	if floor := 0.9 * baselineRPS; res.EchoRPS < floor {
+		t.Errorf("echo rate %.0f RPS regressed >10%% vs BENCH_rpc.json %.0f RPS", res.EchoRPS, baselineRPS)
+	}
+	if res.AmortizationRatio < minAmortization {
+		t.Errorf("poller amortization %.2fx below the %.0fx bound (poller %d vs callback %d wakeups)",
+			res.AmortizationRatio, minAmortization, res.PollerWakeups, res.CallbackWakeups)
+	}
+	// Coalescing must not buy wakeups with latency: the poller's sparse
+	// wakeup delay stays within 2 µs (one ReadyDelay) of the per-event
+	// baseline and under an absolute ceiling.
+	if res.PollerLatency > res.CallbackLatency+2*time.Microsecond {
+		t.Errorf("poller latency %v exceeds callback latency %v by more than the coalescing delay",
+			res.PollerLatency, res.CallbackLatency)
+	}
+	if res.PollerLatency > maxSparseLatency {
+		t.Errorf("sparse wakeup latency %v exceeds %v", res.PollerLatency, maxSparseLatency)
+	}
+	if floor := 0.9 * baselineChurn; res.ChurnPerSec < floor {
+		t.Errorf("churn rate %.0f conn/s regressed >10%% vs BENCH_rpc.json %.0f conn/s", res.ChurnPerSec, baselineChurn)
+	}
+}
+
+// TestRPCShapeShort reruns the rpc experiment at a second, scaled-down
+// configuration: the structural claims — coalescing ≥2x and a sane
+// echo loop — must hold away from the exact BENCH_rpc.json point, not
+// just at it.
+func TestRPCShapeShort(t *testing.T) {
+	res := RunRPC(RPCConfig{
+		Conns: 8, Warmup: 5 * time.Millisecond, Window: 10 * time.Millisecond,
+		SparseConns: 500, Bursts: 40, ChurnWindow: 5 * time.Millisecond,
+	})
+	t.Logf("echo %.0f RPS  amortization %.2fx  churn %.0f conn/s", res.EchoRPS, res.AmortizationRatio, res.ChurnPerSec)
+	if res.RoundTrips == 0 {
+		t.Error("echo loop moved no messages")
+	}
+	if res.AmortizationRatio < 2 {
+		t.Errorf("poller amortization %.2fx below 2x even in the short tier", res.AmortizationRatio)
+	}
+	if res.ChurnCycles == 0 {
+		t.Error("churn loop completed no cycles")
+	}
+}
+
 // TestTraceOverheadGate is the telemetry overhead regression gate
 // (DESIGN.md §9): with tracing off — the production default — the
 // streaming echo must stay within 5% of the PR 3 goodput baseline

@@ -110,6 +110,10 @@ type Stats struct {
 	// the socket-API boundary copies that cannot be elided.
 	TxBytesCopied uint64
 	RxBytesCopied uint64
+	// PollerWakeups counts OnReady invocations; PollerEvents the
+	// per-socket readiness notifications those wakeups amortized.
+	PollerWakeups uint64
+	PollerEvents  uint64
 }
 
 // counters is the live atomic form of Stats: management-plane readers
@@ -119,6 +123,10 @@ type counters struct {
 	opsIssued, completions, events         telemetry.Counter
 	bytesSent, bytesReceived, creditStalls telemetry.Counter
 	txBytesCopied, rxBytesCopied           telemetry.Counter
+	// pollerWakeups counts OnReady invocations; pollerEvents counts the
+	// per-socket readiness notifications those wakeups amortized.
+	// events/wakeups is the measured coalescing ratio (BENCH_rpc.json).
+	pollerWakeups, pollerEvents telemetry.Counter
 }
 
 func (c *counters) register(m *telemetry.Scope) {
@@ -130,6 +138,27 @@ func (c *counters) register(m *telemetry.Scope) {
 	m.Counter("credit_stalls", &c.creditStalls)
 	m.Counter("tx_bytes_copied", &c.txBytesCopied)
 	m.Counter("rx_bytes_copied", &c.rxBytesCopied)
+	m.Counter("poller_wakeups", &c.pollerWakeups)
+	m.Counter("poller_events", &c.pollerEvents)
+}
+
+// opLatency holds the per-op round-trip histograms (nanoseconds of
+// virtual time, log2 buckets): the setup/teardown paths the short-flow
+// work targets, surfaced in `nkctl stats` and the nkbench micro
+// excerpt. Scope.Histogram is nil-safe, so an unmetered GuestLib
+// observes into no-ops.
+type opLatency struct {
+	socketRTT  *telemetry.Histogram // Socket() → OpSocket completion
+	connectRTT *telemetry.Histogram // Connect() → OpEstablished
+	acceptWait *telemetry.Histogram // OpNewConn arrival → Accept() drain
+	closeRTT   *telemetry.Histogram // Close() → OpConnClosed
+}
+
+func (l *opLatency) register(m *telemetry.Scope) {
+	l.socketRTT = m.Histogram("socket_rtt_ns")
+	l.connectRTT = m.Histogram("connect_rtt_ns")
+	l.acceptWait = m.Histogram("accept_wait_ns")
+	l.closeRTT = m.Histogram("close_rtt_ns")
 }
 
 func (c *counters) snapshot() Stats {
@@ -142,6 +171,8 @@ func (c *counters) snapshot() Stats {
 		CreditStalls:  c.creditStalls.Load(),
 		TxBytesCopied: c.txBytesCopied.Load(),
 		RxBytesCopied: c.rxBytesCopied.Load(),
+		PollerWakeups: c.pollerWakeups.Load(),
+		PollerEvents:  c.pollerEvents.Load(),
 	}
 }
 
@@ -205,6 +236,28 @@ type socket struct {
 	// Datagram receive queue (datagram sockets only).
 	dgrams []datagram
 	bound  bool
+
+	// inStalled marks membership in GuestLib.stalled, making the stall
+	// queue O(ready) instead of a linear dedup scan per mark.
+	inStalled bool
+	// closedSeen records the OpConnClosed event, so teardown knows when
+	// both directions are done and the socket can recycle.
+	closedSeen bool
+
+	// Poller attachment (DESIGN.md §11): a polled socket feeds readiness
+	// masks into its poller instead of firing per-event OnReadable/
+	// OnAcceptable/OnWritable callbacks (OnEstablished and OnClose still
+	// fire — they are lifecycle, not readiness). pollMask accumulates
+	// events not yet drained by Wait; a zero mask means the socket is
+	// not on the poller's ready list.
+	poller   *Poller
+	pollMask uint32
+
+	// Virtual-time stamps feeding the per-op latency histograms.
+	sockStart    sim.Time
+	connectStart sim.Time
+	closeStart   sim.Time
+	acceptedAt   sim.Time
 }
 
 type datagram struct {
@@ -231,6 +284,15 @@ type GuestLib struct {
 	nextFD   int32
 	seq      uint64
 	stats    counters
+	latency  opLatency
+	// pollers lists every live Poller so the pump can deliver the one
+	// amortized OnReady wakeup per batch.
+	pollers []*Poller
+	// sockPool recycles socket structs under connection churn (the
+	// guest half of the short-flow slab path). Descriptors stay
+	// monotonic — only the structs recycle, so a stale fd can never
+	// alias a new connection.
+	sockPool []*socket
 	// stalled lists sockets whose Send came up short (credit, huge
 	// pages, or job-queue space). Every pump revisits them so one
 	// greedy socket cannot starve its siblings of queue slots.
@@ -271,12 +333,39 @@ func New(cfg Config) *GuestLib {
 		drain: make([]nqe.Element, 64),
 	}
 	g.stats.register(cfg.Metrics)
+	g.latency.register(cfg.Metrics)
 	for _, p := range pairs {
 		p := p
 		p.EnsureShards()
 		p.KickVM = func(shard int) { g.pump(p, shard) }
 	}
 	return g
+}
+
+// newSocket takes a socket struct from the recycling pool (or the
+// heap). Under accept/close churn the pool keeps short-lived
+// connections from allocating at all; descriptors are never recycled,
+// only the structs behind them.
+func (g *GuestLib) newSocket() *socket {
+	if n := len(g.sockPool); n > 0 {
+		s := g.sockPool[n-1]
+		g.sockPool = g.sockPool[:n-1]
+		return s
+	}
+	return &socket{}
+}
+
+// releaseSocket retires a fully-closed socket: any receive chunks still
+// held go back to the huge-page pool, the descriptor unmaps, and the
+// struct recycles. Stale references by fd (the stall queue, a poller's
+// ready list) resolve through the map and find nothing.
+func (g *GuestLib) releaseSocket(s *socket) {
+	for _, seg := range s.recvQ {
+		s.pair.Pages.Free(seg.chunk)
+	}
+	delete(g.sockets, s.fd)
+	*s = socket{}
+	g.sockPool = append(g.sockPool, s)
 }
 
 // Replicas returns how many NSM channels the guest spreads over.
@@ -313,6 +402,7 @@ func (g *GuestLib) retryBacklog() {
 		g.pendingOps = g.pendingOps[1:]
 	}
 	g.wakeStalled()
+	g.deliverWakeups()
 	for _, p := range g.pairs {
 		for i := range p.Shards {
 			p.Shards[i].VMJob.Flush()
@@ -373,7 +463,10 @@ func (g *GuestLib) Socket(cbs Callbacks) int32 {
 	fd := g.nextFD
 	g.nextFD++
 	pair, shard := g.placeSocket()
-	g.sockets[fd] = &socket{fd: fd, kind: kindStream, cbs: cbs, credit: g.cfg.SendCredit, pair: pair, shard: shard}
+	s := g.newSocket()
+	s.fd, s.kind, s.cbs, s.credit, s.pair, s.shard = fd, kindStream, cbs, g.cfg.SendCredit, pair, shard
+	s.sockStart = g.cfg.Clock.Now()
+	g.sockets[fd] = s
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd}
 	if len(g.pendingOps) > 0 || !g.push(pair, shard, &e) {
 		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, shard: shard, e: e})
@@ -388,7 +481,10 @@ func (g *GuestLib) SocketDatagram(cbs Callbacks) int32 {
 	fd := g.nextFD
 	g.nextFD++
 	pair, shard := g.placeSocket()
-	g.sockets[fd] = &socket{fd: fd, kind: kindDatagram, cbs: cbs, credit: g.cfg.SendCredit, pair: pair, shard: shard}
+	s := g.newSocket()
+	s.fd, s.kind, s.cbs, s.credit, s.pair, s.shard = fd, kindDatagram, cbs, g.cfg.SendCredit, pair, shard
+	s.sockStart = g.cfg.Clock.Now()
+	g.sockets[fd] = s
 	e := nqe.Element{Op: nqe.OpSocket, FD: fd, Arg0: 1 /* datagram */}
 	if len(g.pendingOps) > 0 || !g.push(pair, shard, &e) {
 		g.pendingOps = append(g.pendingOps, pendingOp{pair: pair, shard: shard, e: e})
@@ -428,7 +524,7 @@ func (g *GuestLib) SendTo(fd int32, addr ipv4.Addr, port uint16, payload []byte)
 			return err
 		}
 	}
-	chunk, ok := s.pair.Pages.AllocOn(s.shard)
+	chunk, ok := s.pair.Pages.AllocSized(len(payload), s.shard)
 	if !ok {
 		return fmt.Errorf("guestlib: huge pages exhausted")
 	}
@@ -484,6 +580,7 @@ func (g *GuestLib) Connect(fd int32, addr ipv4.Addr, port uint16) error {
 		return fmt.Errorf("guestlib: connect on %v socket", s.state)
 	}
 	s.state = stConnecting
+	s.connectStart = g.cfg.Clock.Now()
 	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpConnect, FD: fd, Arg0: nqe.PackAddr(addr, port)})
 	return nil
 }
@@ -526,7 +623,31 @@ func (g *GuestLib) Accept(lfd int32) (fd int32, ok bool) {
 	}
 	fd = s.accepts[0]
 	s.accepts = s.accepts[1:]
+	if as := g.sockets[fd]; as != nil {
+		g.latency.acceptWait.Observe(uint64(g.cfg.Clock.Now().Sub(as.acceptedAt)))
+	}
 	return fd, true
+}
+
+// AcceptBatch drains up to len(fds) pending accepted connections from a
+// listener in one call — the guest end of ServiceLib's spanned
+// OpNewConn batches. It returns how many descriptors were written. A
+// connection whose socket already died (reset before the drain) still
+// occupies a slot; the caller sees its OnClose like any other.
+func (g *GuestLib) AcceptBatch(lfd int32, fds []int32) int {
+	s := g.sockets[lfd]
+	if s == nil || s.kind != kindListener || len(s.accepts) == 0 {
+		return 0
+	}
+	n := copy(fds, s.accepts)
+	s.accepts = s.accepts[n:]
+	now := g.cfg.Clock.Now()
+	for _, fd := range fds[:n] {
+		if as := g.sockets[fd]; as != nil {
+			g.latency.acceptWait.Observe(uint64(now.Sub(as.acceptedAt)))
+		}
+	}
+	return n
 }
 
 // SetCallbacks replaces a socket's event hooks (used for accepted
@@ -560,7 +681,9 @@ func (g *GuestLib) Send(fd int32, p []byte) int {
 			break
 		}
 		n := min(min(chunkSize, len(p)), s.credit)
-		chunk, ok := s.pair.Pages.AllocOn(s.shard)
+		// Short-flow slab path: a tiny message takes a small-class chunk
+		// instead of cycling a bulk chunk through the free lists.
+		chunk, ok := s.pair.Pages.AllocSized(n, s.shard)
 		if !ok {
 			g.markStalled(s)
 			g.stats.creditStalls.Inc()
@@ -651,6 +774,7 @@ func (g *GuestLib) Close(fd int32) {
 		return
 	}
 	s.closeSent = true
+	s.closeStart = g.cfg.Clock.Now()
 	// The application is done reading: return any unconsumed receive
 	// chunks to the pool (and discard late arrivals in handleEvent).
 	for _, seg := range s.recvQ {
@@ -658,7 +782,33 @@ func (g *GuestLib) Close(fd int32) {
 	}
 	s.recvQ = nil
 	s.recvOff = 0
+	// A closing listener orphans accepted-but-undrained connections;
+	// close them too so their NSM state unwinds instead of idling
+	// forever behind a descriptor nobody holds.
+	if s.kind == kindListener {
+		orphans := s.accepts
+		s.accepts = nil
+		for _, afd := range orphans {
+			g.Close(afd)
+		}
+	}
 	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpClose, FD: fd})
+	// Both directions are already down (the peer's OpConnClosed came
+	// first): nothing further will ever arrive for this socket, so it
+	// recycles. (Before it is ready, deferred still holds the OpClose —
+	// the struct must survive until the replay.) The release defers to
+	// the executor: Close is often called from inside the OpConnClosed
+	// delivery that announced the peer's close, and that handler still
+	// has callbacks (OnClose) to run against this socket. The fd-map
+	// re-check makes the posted release a no-op if the event handler
+	// already retired the descriptor itself.
+	if s.closedSeen && s.ready {
+		g.cfg.Clock.Post(func() {
+			if g.sockets[fd] == s && s.closeSent {
+				g.releaseSocket(s)
+			}
+		})
+	}
 }
 
 func (g *GuestLib) stream(fd int32) (*socket, error) {
@@ -711,6 +861,10 @@ func (g *GuestLib) pump(pair *nkchan.Pair, shard int) {
 		g.noteBackpressure()
 	}
 	g.wakeStalled()
+	// One amortized OnReady per poller covers every socket that became
+	// ready in this batch — the wakeup coalescing the rpc experiment
+	// measures.
+	g.deliverWakeups()
 	// The pump produced jobs (credits, retried ops); deliver any
 	// partial doorbell batch before going idle. Credits ride the
 	// receiving socket's own shard, which may differ from the pumped
@@ -720,9 +874,11 @@ func (g *GuestLib) pump(pair *nkchan.Pair, shard int) {
 	}
 }
 
-// wakeStalled revisits write-stalled sockets in descriptor order once
-// per pump, so freed queue slots and returned credit are shared instead
-// of monopolized by whichever socket stalls last.
+// wakeStalled revisits write-stalled sockets in stall order once per
+// pump, so freed queue slots and returned credit are shared instead of
+// monopolized by whichever socket stalls last. The visit costs O(ready):
+// each socket carries its membership flag, so marking is an append and
+// waking never rescans sockets that already left the queue.
 func (g *GuestLib) wakeStalled() {
 	if len(g.stalled) == 0 {
 		return
@@ -731,7 +887,11 @@ func (g *GuestLib) wakeStalled() {
 	g.stalled = nil
 	for _, fd := range pending {
 		s := g.sockets[fd]
-		if s == nil || !s.wantWrite {
+		if s == nil {
+			continue
+		}
+		s.inStalled = false
+		if !s.wantWrite {
 			continue
 		}
 		if s.credit <= 0 {
@@ -739,6 +899,12 @@ func (g *GuestLib) wakeStalled() {
 			continue
 		}
 		s.wantWrite = false
+		if s.poller != nil {
+			// Polled sockets get coalesced writable readiness instead of
+			// a per-socket callback.
+			g.pollerNotify(s, nqe.ReadyWritable)
+			continue
+		}
 		if s.cbs.OnWritable != nil {
 			s.cbs.OnWritable()
 		}
@@ -747,12 +913,163 @@ func (g *GuestLib) wakeStalled() {
 
 func (g *GuestLib) markStalled(s *socket) {
 	s.wantWrite = true
-	for _, fd := range g.stalled {
-		if fd == s.fd {
-			return
+	if s.inStalled {
+		return
+	}
+	s.inStalled = true
+	g.stalled = append(g.stalled, s.fd)
+}
+
+// A Poller is the guest's epoll-style readiness surface (DESIGN.md
+// §11): sockets Add to it, the pipeline coalesces their transitions
+// into OpReady batches, and the application drains them with Wait.
+// Where the per-event callback path costs one OnReadable per data
+// event, a poller costs one OnReady per delivery batch — 10k sparse
+// connections wake the application once, not 10k times.
+type Poller struct {
+	g *GuestLib
+	// OnReady fires at most once per delivery batch when at least one
+	// polled socket has undrained readiness. Typically it drains with
+	// Wait (re-entering GuestLib is safe — wakeups deliver after the
+	// rings are drained).
+	OnReady func()
+
+	ready       []int32 // fds with a non-zero pollMask, transition order
+	wakePending bool
+}
+
+// PollEvent is one ready socket reported by Wait.
+type PollEvent struct {
+	FD     int32
+	Events uint32 // ORed nqe.Ready* masks since the last drain
+}
+
+// NewPoller creates a poller. onReady may be nil for pure Wait-loop use.
+func (g *GuestLib) NewPoller(onReady func()) *Poller {
+	p := &Poller{g: g, OnReady: onReady}
+	g.pollers = append(g.pollers, p)
+	return p
+}
+
+// Add registers a socket for coalesced readiness. Per-event
+// OnReadable/OnAcceptable/OnWritable callbacks stop firing for it;
+// OnEstablished and OnClose still do (lifecycle, not readiness). State
+// the socket already holds — buffered data, pending accepts, a seen
+// EOF — replays immediately so a late-attached poller never sleeps
+// through it.
+func (p *Poller) Add(fd int32) error {
+	g := p.g
+	s := g.sockets[fd]
+	if s == nil {
+		return fmt.Errorf("guestlib: bad fd %d", fd)
+	}
+	if s.poller != nil && s.poller != p {
+		return fmt.Errorf("guestlib: fd %d already belongs to another poller", fd)
+	}
+	s.poller = p
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpPollCtl, FD: fd, Arg0: 1})
+	var mask uint32
+	if len(s.recvQ) > 0 || len(s.dgrams) > 0 || s.eof {
+		mask |= nqe.ReadyReadable
+	}
+	if len(s.accepts) > 0 {
+		mask |= nqe.ReadyAcceptable
+	}
+	if s.state == stClosed {
+		mask |= nqe.ReadyClosed
+	}
+	if mask != 0 {
+		g.pollerNotify(s, mask)
+		// Deliver on the executor, not synchronously under the caller.
+		g.cfg.Clock.Post(func() { g.deliverWakeups() })
+	}
+	return nil
+}
+
+// Remove deregisters a socket; per-event callbacks resume.
+func (p *Poller) Remove(fd int32) error {
+	g := p.g
+	s := g.sockets[fd]
+	if s == nil || s.poller != p {
+		return fmt.Errorf("guestlib: fd %d is not on this poller", fd)
+	}
+	s.poller = nil
+	s.pollMask = 0 // a stale ready-list entry now skips in Wait
+	g.pushWhenReady(s, &nqe.Element{Op: nqe.OpPollCtl, FD: fd, Arg0: 0})
+	return nil
+}
+
+// Wait drains ready sockets into events without blocking, returning how
+// many it wrote. Sockets keep accumulating masks between drains; a
+// socket reported once does not reappear until a new transition.
+func (p *Poller) Wait(events []PollEvent) int {
+	n, i := 0, 0
+	for i < len(p.ready) && n < len(events) {
+		fd := p.ready[i]
+		i++
+		s := p.g.sockets[fd]
+		if s == nil || s.poller != p || s.pollMask == 0 {
+			continue // released, removed, or already drained
+		}
+		events[n] = PollEvent{FD: fd, Events: s.pollMask}
+		s.pollMask = 0
+		n++
+	}
+	p.ready = p.ready[i:]
+	return n
+}
+
+// Close detaches the poller from its sockets and the GuestLib.
+func (p *Poller) Close() {
+	g := p.g
+	for _, s := range g.sockets {
+		if s.poller == p {
+			s.poller = nil
+			s.pollMask = 0
 		}
 	}
-	g.stalled = append(g.stalled, s.fd)
+	for i, q := range g.pollers {
+		if q == p {
+			g.pollers = append(g.pollers[:i], g.pollers[i+1:]...)
+			break
+		}
+	}
+	p.ready = nil
+	p.wakePending = false
+}
+
+// pollerNotify records a readiness transition on the socket's poller.
+// First transition since the last drain appends to the ready list;
+// repeats just OR into the mask. The wakeup itself is deferred to
+// deliverWakeups so a batch of transitions costs one OnReady.
+func (g *GuestLib) pollerNotify(s *socket, mask uint32) {
+	p := s.poller
+	if p == nil || mask == 0 {
+		return
+	}
+	g.stats.pollerEvents.Inc()
+	if s.pollMask == 0 {
+		p.ready = append(p.ready, s.fd)
+	}
+	s.pollMask |= mask
+	p.wakePending = true
+}
+
+// deliverWakeups fires each poller's OnReady at most once for
+// everything that became ready since the last delivery — the amortized
+// wakeup the rpc experiment measures against per-event callbacks.
+func (g *GuestLib) deliverWakeups() {
+	for _, p := range g.pollers {
+		if !p.wakePending {
+			continue
+		}
+		p.wakePending = false
+		if len(p.ready) == 0 || p.OnReady == nil {
+			continue
+		}
+		g.stats.pollerWakeups.Inc()
+		p.OnReady()
+	}
 }
 
 func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
@@ -784,6 +1101,7 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 			}
 			return
 		}
+		g.latency.socketRTT.Observe(uint64(g.cfg.Clock.Now().Sub(s.sockStart)))
 		// The CoreEngine installed the fd↔cID mapping: deferred control
 		// operations may flow. A full job queue reroutes them through
 		// the retry backlog rather than dropping them.
@@ -796,6 +1114,10 @@ func (g *GuestLib) handleCompletion(pair *nkchan.Pair, e *nqe.Element) {
 			}
 		}
 		s.deferred = nil
+	case nqe.OpPollCtl:
+		// Registration acknowledged; nothing to do. (A StatusInvalid —
+		// the socket died NSM-side before the ctl landed — is not a
+		// connection error: the OpConnClosed event carries that.)
 	case nqe.OpListen, nqe.OpRecv, nqe.OpClose, nqe.OpSetSockOpt:
 		// Status-only completions.
 		if e.Status != nqe.StatusOK && s.cbs.OnClose != nil && s.state != stClosed {
@@ -815,6 +1137,7 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, shard int, e *nqe.Element) {
 		if s == nil {
 			return
 		}
+		g.latency.connectRTT.Observe(uint64(g.cfg.Clock.Now().Sub(s.connectStart)))
 		if e.Status == nqe.StatusOK {
 			s.state = stEstablished
 		} else {
@@ -834,12 +1157,17 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, shard int, e *nqe.Element) {
 		// The accepted socket inherits the shard its OpNewConn rode in
 		// on — the flow's hash shard, where the engine installed its
 		// mapping. Every element it ever sends stays there.
-		g.sockets[newFD] = &socket{
-			fd: newFD, kind: kindStream, state: stEstablished,
-			credit: g.cfg.SendCredit, ready: true, pair: s.pair, shard: shard,
-		}
+		as := g.newSocket()
+		as.fd, as.kind, as.state = newFD, kindStream, stEstablished
+		as.credit, as.ready, as.pair, as.shard = g.cfg.SendCredit, true, s.pair, shard
+		as.acceptedAt = g.cfg.Clock.Now()
+		g.sockets[newFD] = as
 		s.accepts = append(s.accepts, newFD)
-		if len(s.accepts) == 1 && s.cbs.OnAcceptable != nil {
+		if s.poller != nil {
+			// A polled listener coalesces: one acceptable bit, however
+			// many connections landed, drained via AcceptBatch.
+			g.pollerNotify(s, nqe.ReadyAcceptable)
+		} else if len(s.accepts) == 1 && s.cbs.OnAcceptable != nil {
 			s.cbs.OnAcceptable()
 		}
 	case nqe.OpNewData:
@@ -863,7 +1191,9 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, shard int, e *nqe.Element) {
 			// the application buffer, eliding the intermediate copy.
 			s.recvQ = append(s.recvQ, recvSeg{chunk: shmChunk(e.DataOff), size: int(e.DataLen)})
 		}
-		if s.cbs.OnReadable != nil {
+		if s.poller != nil {
+			g.pollerNotify(s, nqe.ReadyReadable)
+		} else if s.cbs.OnReadable != nil {
 			s.cbs.OnReadable()
 		}
 	case nqe.OpConnClosed:
@@ -880,15 +1210,52 @@ func (g *GuestLib) handleEvent(pair *nkchan.Pair, shard int, e *nqe.Element) {
 			s.recvOff = 0
 		}
 		s.eof = true
+		s.closedSeen = true
 		wasClosed := s.state == stClosed
 		s.state = stClosed
 		s.closeErr = e.Status.Err()
-		if s.cbs.OnReadable != nil {
+		if s.poller != nil {
+			g.pollerNotify(s, nqe.ReadyClosed|nqe.ReadyReadable)
+		} else if s.cbs.OnReadable != nil {
 			s.cbs.OnReadable() // EOF is readable
 		}
 		if !wasClosed && s.cbs.OnClose != nil {
 			s.cbs.OnClose(s.closeErr)
 		}
+		// The guest had already closed its side: the handshake is
+		// complete and the descriptor retires. (s.closeSent re-read
+		// because an OnClose handler may have called Close itself,
+		// releasing the socket already — the zeroed struct reads false.)
+		if s.closeSent {
+			g.latency.closeRTT.Observe(uint64(g.cfg.Clock.Now().Sub(s.closeStart)))
+			g.releaseSocket(s)
+		}
+
+	case nqe.OpReady:
+		// Coalesced readiness. The chunk form packs Arg0 (id, mask)
+		// entries — ids are fds after engine translation; the
+		// descriptorless form carries one socket in FD with its mask in
+		// Arg1. Entries for recycled fds are skipped: readiness is a
+		// hint, the authoritative state arrived with the data events
+		// ahead of this element.
+		if e.DataLen == 0 {
+			if s != nil {
+				g.pollerNotify(s, uint32(e.Arg1))
+			}
+			return
+		}
+		buf := pair.Pages.Bytes(shmChunk(e.DataOff))
+		n := int(e.Arg0)
+		if fit := int(e.DataLen) / nqe.ReadyEntrySize; n > fit {
+			n = fit
+		}
+		for i := 0; i < n; i++ {
+			id, mask := nqe.ReadyEntryAt(buf, i)
+			if rs := g.sockets[int32(id)]; rs != nil {
+				g.pollerNotify(rs, mask)
+			}
+		}
+		pair.Pages.Free(shmChunk(e.DataOff))
 	}
 }
 

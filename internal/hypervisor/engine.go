@@ -570,6 +570,8 @@ func (sh *pairShard) translateSlotToVM(s nqe.Slot) bool {
 		sh.mu.Unlock()
 		s.SetFD(lfd)
 		s.SetArg1(uint64(uint32(newFD)))
+	case nqe.OpReady:
+		return sh.translateReady(s)
 	default:
 		sh.mu.Lock()
 		fd, ok := sh.cidToFD[s.CID()]
@@ -584,6 +586,54 @@ func (sh *pairShard) translateSlotToVM(s nqe.Slot) bool {
 	if t := s.Trace(); t != 0 {
 		ce.cfg.Tracer.Stamp(t, "engine.nsm-pump", 0)
 	}
+	return true
+}
+
+// translateReady rewrites a coalesced readiness event in place: every
+// packed cID becomes the guest's fd. A socket whose mapping is already
+// retired (closed past the grace period) is compacted out rather than
+// failing the whole batch — readiness is a hint, and a straggler entry
+// for a dead socket must not suppress wakeups for live ones. An event
+// left with no live entries is dropped and its chunk freed here (the
+// engine owns an NSM-sourced OpReady chunk exactly like an OpNewData
+// chunk).
+func (sh *pairShard) translateReady(s nqe.Slot) bool {
+	ep := sh.ep
+	ce := ep.engine
+	if s.DataLen() == 0 {
+		// Descriptorless single-socket form: the id rides the CID field.
+		// lookupListenerFD's sibling fallback covers entries whose
+		// mapping lives on another shard.
+		fd, ok := sh.lookupListenerFD(s.CID())
+		if !ok {
+			return false
+		}
+		s.SetFD(fd)
+		ce.stats.Translated++
+		return true
+	}
+	buf := ep.ch.Pages.Bytes(shm.Chunk{Offset: s.DataOff()})
+	n := int(s.Arg0())
+	if fit := int(s.DataLen()) / nqe.ReadyEntrySize; n > fit {
+		n = fit
+	}
+	kept := 0
+	for i := 0; i < n; i++ {
+		cid, mask := nqe.ReadyEntryAt(buf, i)
+		fd, ok := sh.lookupListenerFD(cid)
+		if !ok {
+			continue
+		}
+		nqe.PutReadyEntry(buf[kept*nqe.ReadyEntrySize:], uint32(fd), mask)
+		kept++
+	}
+	if kept == 0 {
+		ep.ch.Pages.Free(shm.Chunk{Offset: s.DataOff()})
+		return false
+	}
+	s.SetArg0(uint64(kept))
+	s.SetDataLen(uint32(kept * nqe.ReadyEntrySize))
+	ce.stats.Translated++
 	return true
 }
 
@@ -715,7 +765,8 @@ func (sh *pairShard) discardQueue(q nkqueue.Q) {
 // already freed when the module consumed the data.
 func (sh *pairShard) freeChunk(e *nqe.Element) {
 	owns := (e.Op == nqe.OpSend && e.Source == nqe.FromVM) ||
-		(e.Op == nqe.OpNewData && e.Source == nqe.FromNSM)
+		(e.Op == nqe.OpNewData && e.Source == nqe.FromNSM) ||
+		(e.Op == nqe.OpReady && e.Source == nqe.FromNSM)
 	if owns && e.DataLen > 0 {
 		sh.ep.ch.Pages.Free(shm.Chunk{Offset: e.DataOff})
 	}

@@ -29,6 +29,13 @@ type Config struct {
 	// queue channel of the conference paper). The huge-page region is
 	// shared across shards; ring sets are not.
 	Shards int
+	// SmallPages is the page count of the short-flow size class carved
+	// above the bulk region (DESIGN.md §11). Default 1; negative
+	// disables the class. Bulk chunk offsets are unaffected either way.
+	SmallPages int
+	// SmallChunkSize is the short-flow chunk granularity (default
+	// shm.DefaultSmallChunkSize).
+	SmallChunkSize int
 }
 
 func (c *Config) fillDefaults() {
@@ -40,6 +47,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.SmallPages == 0 {
+		c.SmallPages = 1
+	}
+	if c.SmallPages < 0 {
+		c.SmallPages = 0
+	}
+	if c.SmallChunkSize <= 0 {
+		c.SmallChunkSize = shm.DefaultSmallChunkSize
 	}
 }
 
@@ -92,7 +108,7 @@ type Pair struct {
 // NewPair allocates the queues and data region.
 func NewPair(cfg Config) (*Pair, error) {
 	cfg.fillDefaults()
-	pages, err := shm.NewHugePages(cfg.HugePages, cfg.ChunkSize)
+	pages, err := shm.NewHugePagesSized(cfg.HugePages, cfg.ChunkSize, cfg.SmallPages, cfg.SmallChunkSize)
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +152,12 @@ func (p *Pair) NumShards() int {
 	return len(p.Shards)
 }
 
-// ChunkSize returns the data-chunk granularity.
+// ChunkSize returns the bulk data-chunk granularity.
 func (p *Pair) ChunkSize() int { return p.Pages.ChunkSize() }
+
+// SmallChunkSize returns the short-flow chunk granularity, 0 when the
+// pair's region has no small class.
+func (p *Pair) SmallChunkSize() int { return p.Pages.SmallChunkSize() }
 
 // FlushDoorbells delivers any coalesced doorbell wakeups still pending
 // on every shard's rings. Producers call it when a burst ends with a

@@ -16,8 +16,13 @@ func TestNewPairDefaults(t *testing.T) {
 	if p.ChunkSize() != 8<<10 {
 		t.Fatalf("ChunkSize = %d, want 8KB default", p.ChunkSize())
 	}
-	if p.Pages.Chunks() != shm.DefaultPageCount*shm.PageSize/(8<<10) {
-		t.Fatalf("Chunks = %d", p.Pages.Chunks())
+	wantBulk := shm.DefaultPageCount * shm.PageSize / (8 << 10)
+	wantSmall := shm.PageSize / shm.DefaultSmallChunkSize
+	if p.Pages.Chunks() != wantBulk+wantSmall {
+		t.Fatalf("Chunks = %d, want %d bulk + %d small", p.Pages.Chunks(), wantBulk, wantSmall)
+	}
+	if p.SmallChunkSize() != shm.DefaultSmallChunkSize {
+		t.Fatalf("SmallChunkSize = %d", p.SmallChunkSize())
 	}
 	// All six queues usable.
 	e := nqe.Element{Op: nqe.OpSend, Source: nqe.FromVM}

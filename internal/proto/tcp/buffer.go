@@ -3,23 +3,62 @@ package tcp
 // byteRing is a bounded FIFO of bytes used for the send and receive
 // buffers. It supports reading from an offset without consuming, which
 // the send path uses to (re)transmit unacknowledged data.
+//
+// The backing array is allocated lazily and grows geometrically up to
+// the logical capacity (DESIGN.md §11): Cap/Free always report the
+// configured bound — so the advertised receive window is exactly what
+// an eager allocation would give — but a connection that never buffers
+// more than a few KB (short flows, prompt drains, the §8 receive-sink
+// bypass) never pays for, or zeroes, the full buffer. Connection-churn
+// workloads otherwise spend most of their cycles in memclr for rings
+// that are thrown away empty.
 type byteRing struct {
 	buf   []byte
+	cap   int // logical capacity; len(buf) grows lazily toward it
 	start int // index of the first byte
 	n     int // occupied bytes
 }
+
+// ringMinAlloc is the smallest physical allocation once a ring holds
+// any bytes at all.
+const ringMinAlloc = 1 << 10
 
 func newByteRing(capacity int) *byteRing {
 	if capacity <= 0 {
 		panic("tcp: non-positive buffer capacity")
 	}
-	return &byteRing{buf: make([]byte, capacity)}
+	return &byteRing{cap: capacity}
 }
 
-func (r *byteRing) Cap() int    { return len(r.buf) }
+func (r *byteRing) Cap() int    { return r.cap }
 func (r *byteRing) Len() int    { return r.n }
-func (r *byteRing) Free() int   { return len(r.buf) - r.n }
+func (r *byteRing) Free() int   { return r.cap - r.n }
 func (r *byteRing) Empty() bool { return r.n == 0 }
+
+// grow ensures the physical buffer holds at least need bytes,
+// linearizing the occupied prefix into the new array (start returns
+// to 0, so modulo indexing stays valid across the swap).
+func (r *byteRing) grow(need int) {
+	size := len(r.buf)
+	if size == 0 {
+		size = ringMinAlloc
+	}
+	for size < need {
+		size *= 2
+	}
+	if size > r.cap {
+		size = r.cap
+	}
+	buf := make([]byte, size)
+	if r.n > 0 {
+		first := copy(buf, r.buf[r.start:])
+		if first < r.n {
+			copy(buf[first:], r.buf[:r.n-first])
+		}
+	}
+	r.buf = buf
+	r.start = 0
+}
 
 // Write appends as much of p as fits, returning the number of bytes
 // accepted.
@@ -27,6 +66,12 @@ func (r *byteRing) Write(p []byte) int {
 	w := len(p)
 	if w > r.Free() {
 		w = r.Free()
+	}
+	if w == 0 {
+		return 0
+	}
+	if r.n+w > len(r.buf) {
+		r.grow(r.n + w)
 	}
 	end := (r.start + r.n) % len(r.buf)
 	first := copy(r.buf[end:], p[:w])
@@ -61,8 +106,12 @@ func (r *byteRing) Discard(n int) int {
 	if n > r.n {
 		n = r.n
 	}
-	r.start = (r.start + n) % len(r.buf)
 	r.n -= n
+	if r.n == 0 {
+		r.start = 0
+	} else {
+		r.start = (r.start + n) % len(r.buf)
+	}
 	return n
 }
 

@@ -52,6 +52,14 @@ type Config struct {
 	// batched interrupts in §3.2 and keeps the per-event overhead off
 	// the bulk datapath. Default 5 µs; negative disables coalescing.
 	CoalesceDelay time.Duration
+	// ReadyDelay batches readiness transitions of polled sockets
+	// (DESIGN.md §11): when a socket registered via OpPollCtl becomes
+	// readable/acceptable/closed, its entry is queued and the shard
+	// waits up to this long for siblings before emitting one coalesced
+	// OpReady. Default 2 µs; negative flushes every transition
+	// immediately (one OpReady per event — the degenerate mode the
+	// rpc experiment compares against).
+	ReadyDelay time.Duration
 	// StallRecovery, when positive, arms a virtual-time retry timer
 	// whenever an emission finds its output ring full or fault-stalled.
 	// The production pipeline is purely kick-driven and leaves this
@@ -88,6 +96,10 @@ type counters struct {
 	jobsProcessed, dataIn, dataOut telemetry.Counter
 	conns, accepts                 telemetry.Counter
 	txBytesCopied, rxBytesCopied   telemetry.Counter
+	// readyEvents counts OpReady elements emitted; readyIDs counts the
+	// socket entries they carried. IDs per event is the NSM-side
+	// coalescing ratio.
+	readyEvents, readyIDs telemetry.Counter
 }
 
 func (c *counters) register(m *telemetry.Scope) {
@@ -98,6 +110,8 @@ func (c *counters) register(m *telemetry.Scope) {
 	m.Counter("accepts", &c.accepts)
 	m.Counter("tx_bytes_copied", &c.txBytesCopied)
 	m.Counter("rx_bytes_copied", &c.rxBytesCopied)
+	m.Counter("ready_events", &c.readyEvents)
+	m.Counter("ready_ids", &c.readyIDs)
 }
 
 func (c *counters) snapshot() Stats {
@@ -124,6 +138,10 @@ type sendChunk struct {
 
 type connState struct {
 	cid uint32
+	// polled marks a socket registered for coalesced readiness via
+	// OpPollCtl; its transitions feed the shard's ready queue instead
+	// of relying on per-event guest callbacks.
+	polled bool
 	// shard is the channel shard this connection is pinned to: every
 	// nqe the connection ever emits or receives rides this shard's
 	// rings (flow affinity). Dialed connections keep the shard their
@@ -147,9 +165,19 @@ type connState struct {
 }
 
 type listenerState struct {
-	cid   uint32
-	shard int // the listener socket's own shard (its control traffic)
-	lst   *tcp.Listener
+	cid    uint32
+	shard  int // the listener socket's own shard (its control traffic)
+	lst    *tcp.Listener
+	polled bool
+}
+
+// readyShard is one shard's pending coalesced-readiness state: cIDs in
+// first-transition order plus their accumulated masks. The map is for
+// dedup only; emission order is the slice's, so runs stay seed-pure.
+type readyShard struct {
+	order []uint32
+	mask  map[uint32]uint32
+	armed bool // a ReadyDelay flush timer is pending
 }
 
 // ServiceLib is one NSM's queue pump and stack driver.
@@ -163,6 +191,12 @@ type ServiceLib struct {
 	// per shard; they are flushed in order on the next pump, so a data
 	// flood can delay but never lose a completion or connection event.
 	overflow [][]stalledEmit
+	// ready holds per-shard pending readiness of polled sockets,
+	// flushed as coalesced OpReady elements (DESIGN.md §11).
+	ready []readyShard
+	// connPool recycles connState objects under connection churn, the
+	// NSM half of the short-flow slab path.
+	connPool []*connState
 	// drain is the reusable job batch buffer: one pump pops whole ring
 	// spans at a time instead of element by element (§3.2 "batched
 	// interrupts").
@@ -190,12 +224,16 @@ func New(cfg Config) *ServiceLib {
 	if cfg.CoalesceDelay == 0 {
 		cfg.CoalesceDelay = 5 * time.Microsecond
 	}
+	if cfg.ReadyDelay == 0 {
+		cfg.ReadyDelay = 2 * time.Microsecond
+	}
 	cfg.Pair.EnsureShards()
 	s := &ServiceLib{
 		cfg:       cfg,
 		conns:     make(map[uint32]*connState),
 		listeners: make(map[uint32]*listenerState),
 		overflow:  make([][]stalledEmit, len(cfg.Pair.Shards)),
+		ready:     make([]readyShard, len(cfg.Pair.Shards)),
 		drain:     make([]nqe.Element, 64),
 	}
 	s.stats.register(cfg.Metrics)
@@ -288,6 +326,180 @@ func (s *ServiceLib) noteOverflow() {
 	})
 }
 
+// emitBatch pushes a run of same-shard elements as one ring span with a
+// single kick — the accept path's connection-setup batching. Elements
+// that do not fit join the overflow queue like single emissions.
+func (s *ServiceLib) emitBatch(shard int, q nkchan.QueueKind, es []nqe.Element) {
+	if s.dead || len(es) == 0 {
+		return
+	}
+	if shard < 0 || shard >= s.nshards() {
+		shard = 0
+	}
+	rings := &s.cfg.Pair.Shards[shard]
+	target := rings.NSMReceive
+	if q == nkchan.Completion {
+		target = rings.NSMCompletion
+	}
+	for i := range es {
+		es[i].NSMID = s.cfg.NSMID
+		es[i].Source = nqe.FromNSM
+		if q == nkchan.Receive {
+			if tr := s.cfg.Tracer; tr.Enabled() && es[i].Trace == 0 {
+				es[i].Trace = tr.Start("rx:" + es[i].Op.String())
+			}
+			s.cfg.Tracer.Stamp(es[i].Trace, "servicelib.emit", int64(target.Len()))
+		}
+	}
+	n := 0
+	if len(s.overflow[shard]) == 0 {
+		n = target.PushBatch(es)
+	}
+	for _, e := range es[n:] {
+		s.overflow[shard] = append(s.overflow[shard], stalledEmit{kind: q, e: e})
+	}
+	if n < len(es) {
+		s.noteOverflow()
+	}
+	if s.cfg.Pair.KickEngineNSM != nil {
+		s.cfg.Pair.KickEngineNSM(shard)
+	}
+}
+
+// queueReady records a polled socket's readiness transition on its
+// shard's pending queue (deduped: a second transition before the flush
+// ORs into the same entry) and schedules the coalescing flush.
+func (s *ServiceLib) queueReady(shard int, cid uint32, mask uint32) {
+	if s.dead {
+		return
+	}
+	if shard < 0 || shard >= s.nshards() {
+		shard = 0
+	}
+	rs := &s.ready[shard]
+	if rs.mask == nil {
+		rs.mask = make(map[uint32]uint32)
+	}
+	if m, ok := rs.mask[cid]; ok {
+		rs.mask[cid] = m | mask
+	} else {
+		rs.mask[cid] = mask
+		rs.order = append(rs.order, cid)
+	}
+	if s.cfg.ReadyDelay < 0 {
+		// Degenerate per-event mode: one OpReady per transition.
+		s.flushReady(shard)
+		s.cfg.Pair.Shards[shard].NSMReceive.Flush()
+		return
+	}
+	if rs.armed {
+		return
+	}
+	rs.armed = true
+	s.cfg.Clock.AfterFunc(s.cfg.ReadyDelay, func() {
+		s.ready[shard].armed = false
+		if s.dead {
+			return
+		}
+		s.flushReady(shard)
+		s.cfg.Pair.Shards[shard].NSMReceive.Flush()
+	})
+}
+
+// flushReady drains one shard's pending readiness into coalesced
+// OpReady elements: up to SmallChunkSize/ReadyEntrySize entries packed
+// per small huge-page chunk, with a descriptorless single-entry form
+// when only one socket is ready (no chunk round trip for the sparse
+// case of exactly one). Emitted on the receive ring *after* the data
+// events it announces — OpReady is deliberately not a priority op, so
+// FIFO order guarantees the guest sees the data first.
+func (s *ServiceLib) flushReady(shard int) {
+	rs := &s.ready[shard]
+	if len(rs.order) == 0 {
+		return
+	}
+	order, masks := rs.order, rs.mask
+	rs.order, rs.mask = nil, nil
+	if len(order) == 1 {
+		cid := order[0]
+		s.stats.readyEvents.Inc()
+		s.stats.readyIDs.Inc()
+		s.emit(shard, nkchan.Receive, &nqe.Element{
+			Op: nqe.OpReady, CID: cid, Arg0: 1, Arg1: uint64(masks[cid]),
+		})
+		return
+	}
+	perChunk := s.cfg.Pair.Pages.SmallChunkSize() / nqe.ReadyEntrySize
+	if perChunk <= 0 {
+		perChunk = s.cfg.Pair.ChunkSize() / nqe.ReadyEntrySize
+	}
+	for len(order) > 0 {
+		n := len(order)
+		if n > perChunk {
+			n = perChunk
+		}
+		chunk, ok := s.cfg.Pair.Pages.AllocSized(n*nqe.ReadyEntrySize, shard)
+		if !ok {
+			// Pool exhausted: fall back to descriptorless singles rather
+			// than dropping wakeups.
+			for _, cid := range order {
+				s.stats.readyEvents.Inc()
+				s.stats.readyIDs.Inc()
+				s.emit(shard, nkchan.Receive, &nqe.Element{
+					Op: nqe.OpReady, CID: cid, Arg0: 1, Arg1: uint64(masks[cid]),
+				})
+			}
+			return
+		}
+		if fit := s.cfg.Pair.Pages.SizeOf(chunk) / nqe.ReadyEntrySize; n > fit {
+			n = fit
+		}
+		buf := s.cfg.Pair.Pages.Bytes(chunk)
+		for i, cid := range order[:n] {
+			nqe.PutReadyEntry(buf[i*nqe.ReadyEntrySize:], cid, masks[cid])
+		}
+		s.stats.readyEvents.Inc()
+		s.stats.readyIDs.Add(uint64(n))
+		s.emit(shard, nkchan.Receive, &nqe.Element{
+			Op: nqe.OpReady, Arg0: uint64(n),
+			DataOff: chunk.Offset, DataLen: uint32(n * nqe.ReadyEntrySize),
+		})
+		order = order[n:]
+	}
+}
+
+// flushAllReady flushes every shard's pending readiness (pump tails and
+// teardown paths).
+func (s *ServiceLib) flushAllReady() {
+	for shard := range s.ready {
+		s.flushReady(shard)
+	}
+}
+
+// newConnState takes a connState from the recycling pool (or the heap),
+// the NSM half of the short-flow slab path: accept/close churn stops
+// allocating per connection once the pool warms up.
+func (s *ServiceLib) newConnState() *connState {
+	if n := len(s.connPool); n > 0 {
+		cs := s.connPool[n-1]
+		s.connPool = s.connPool[:n-1]
+		return cs
+	}
+	return &connState{}
+}
+
+// freeConnState returns a retired connState to the pool. States with a
+// timer still pending (shaper retry, coalescing flush) are left to the
+// garbage collector — the closure holds the pointer and must not find a
+// reincarnated connection behind it.
+func (s *ServiceLib) freeConnState(cs *connState) {
+	if cs.shaperWait || cs.flushPending {
+		return
+	}
+	*cs = connState{}
+	s.connPool = append(s.connPool, cs)
+}
+
 // flushOverflow retries one shard's stalled emissions in order.
 func (s *ServiceLib) flushOverflow(shard int) {
 	for len(s.overflow[shard]) > 0 {
@@ -334,6 +546,9 @@ func (s *ServiceLib) pump(shard int) {
 			s.cfg.Pair.KickEngineNSM(shard)
 		}
 	}
+	// Readiness gathered while handling this batch rides out with it:
+	// one OpReady per shard per pump, however many sockets transitioned.
+	s.flushAllReady()
 	// The pump produced completions and events; deliver any partial
 	// doorbell batch before going idle. A handler may have emitted on
 	// a sibling shard (an accept pinning its flow elsewhere), so every
@@ -358,8 +573,13 @@ func (s *ServiceLib) handleJob(shard int, e *nqe.Element) {
 	case nqe.OpSocket:
 		s.nextCID++
 		cid := s.nextCID
-		s.conns[cid] = &connState{cid: cid, shard: shard, isDgram: e.Arg0 == 1}
+		cs := s.newConnState()
+		cs.cid, cs.shard, cs.isDgram = cid, shard, e.Arg0 == 1
+		s.conns[cid] = cs
 		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpSocket, CID: cid, Seq: e.Seq})
+
+	case nqe.OpPollCtl:
+		s.handlePollCtl(shard, e)
 
 	case nqe.OpBind:
 		s.handleBind(shard, e)
@@ -436,6 +656,10 @@ func (s *ServiceLib) handleJob(shard int, e *nqe.Element) {
 			// UDP has no close handshake: confirm immediately so the
 			// engine retires the fd↔cID mapping instead of leaking it.
 			s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
+			if cs.polled {
+				s.queueReady(cs.shard, e.CID, nqe.ReadyClosed)
+			}
+			s.freeConnState(cs)
 		} else if cs != nil && cs.conn != nil {
 			cs.conn.Close()
 		} else if ls := s.listeners[e.CID]; ls != nil {
@@ -444,8 +668,43 @@ func (s *ServiceLib) handleJob(shard int, e *nqe.Element) {
 			// Same for listeners: no TCP teardown will ever report this
 			// cID closed, so the mapping must be retired here.
 			s.emit(ls.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
+			if ls.polled {
+				s.queueReady(ls.shard, e.CID, nqe.ReadyClosed)
+			}
+		} else if cs != nil {
+			// A socket that never connected or bound: retire it and its
+			// mapping like the UDP path.
+			delete(s.conns, e.CID)
+			s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: e.CID, Status: nqe.StatusOK})
+			s.freeConnState(cs)
 		}
 	}
+}
+
+// handlePollCtl registers (Arg0=1) or deregisters (Arg0=0) a socket for
+// coalesced readiness reporting. Registration replays state the socket
+// already holds — a connection with buffered receive data or a listener
+// with pending accepts queues an immediate entry, so a poller attached
+// late never sleeps through events that predate it.
+func (s *ServiceLib) handlePollCtl(shard int, e *nqe.Element) {
+	reg := e.Arg0 == 1
+	if cs := s.conns[e.CID]; cs != nil {
+		cs.polled = reg
+		if reg && cs.conn != nil && cs.conn.ReadAvailable() > 0 {
+			s.queueReady(cs.shard, cs.cid, nqe.ReadyReadable)
+		}
+		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpPollCtl, CID: e.CID, Seq: e.Seq, Status: nqe.StatusOK})
+		return
+	}
+	if ls := s.listeners[e.CID]; ls != nil {
+		ls.polled = reg
+		if reg && ls.lst.Pending() > 0 {
+			s.queueReady(ls.shard, ls.cid, nqe.ReadyAcceptable)
+		}
+		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpPollCtl, CID: e.CID, Seq: e.Seq, Status: nqe.StatusOK})
+		return
+	}
+	s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpPollCtl, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
 }
 
 func (s *ServiceLib) handleConnect(e *nqe.Element) {
@@ -519,7 +778,7 @@ func (s *ServiceLib) handleBind(shard int, e *nqe.Element) {
 		if len(data) > s.cfg.Pair.ChunkSize() {
 			return // cannot represent; drop (UDP semantics)
 		}
-		chunk, ok := s.cfg.Pair.Pages.AllocOn(csShard)
+		chunk, ok := s.cfg.Pair.Pages.AllocSized(len(data), csShard)
 		if !ok {
 			return // pool exhausted; drop (UDP semantics)
 		}
@@ -531,6 +790,9 @@ func (s *ServiceLib) handleBind(shard int, e *nqe.Element) {
 			DataOff: chunk.Offset, DataLen: uint32(len(data)),
 			Arg0: nqe.PackAddr(src, srcPort),
 		})
+		if c := s.conns[cid]; c != nil && c.polled {
+			s.queueReady(csShard, cid, nqe.ReadyReadable)
+		}
 	})
 	if err != nil {
 		s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusAddrInUse})
@@ -543,11 +805,18 @@ func (s *ServiceLib) handleBind(shard int, e *nqe.Element) {
 // NewAcceptCallback is the prototype's nk_new_accept_callback: it
 // harvests accepted connections from a listener, registers them under
 // fresh connection IDs, and emits new-connection events toward the VM.
+//
+// The whole pending backlog drains in one sweep and the resulting
+// OpNewConn events leave as one spanned batch per shard with a single
+// kick (connection-setup batching, DESIGN.md §11) — a synchronized
+// accept burst costs one doorbell, not one per connection.
 func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
+	var batch [][]nqe.Element // per shard, lazily sized
+	var cids []uint32
 	for {
 		conn, ok := ls.lst.Accept()
 		if !ok {
-			return
+			break
 		}
 		s.nextCID++
 		cid := s.nextCID
@@ -555,22 +824,44 @@ func (s *ServiceLib) NewAcceptCallback(ls *listenerState) {
 		// OpNewConn rides that shard too, so the engine installs the
 		// mapping where every later element of the flow will look it
 		// up, and the shard's FIFO orders the event before the data.
-		cs := &connState{cid: cid, shard: s.shardForConn(conn), conn: conn}
+		cs := s.newConnState()
+		cs.cid, cs.shard, cs.conn = cid, s.shardForConn(conn), conn
 		s.conns[cid] = cs
 		conn.SetCallbacks(
 			func() { s.NewDataCallback(cid) },
-			func() { s.pumpSend(cs) },
+			func() {
+				if c := s.conns[cid]; c != nil {
+					s.pumpSend(c)
+				}
+			},
 			func(err error) { s.connClosed(cid, err) },
 		)
 		conn.SetReceiveSink(s.makeSink(cs))
 		s.stats.accepts.Inc()
 		remote := conn.RemoteAddr()
-		s.emit(cs.shard, nkchan.Receive, &nqe.Element{
+		if batch == nil {
+			batch = make([][]nqe.Element, s.nshards())
+		}
+		batch[cs.shard] = append(batch[cs.shard], nqe.Element{
 			Op: nqe.OpNewConn, CID: ls.cid,
 			Arg0: nqe.PackAddr(remote.Addr, remote.Port),
 			Arg1: uint64(cid),
 		})
-		// Deliver anything that arrived before the accept.
+		cids = append(cids, cid)
+	}
+	if len(cids) == 0 {
+		return
+	}
+	for shard, es := range batch {
+		s.emitBatch(shard, nkchan.Receive, es)
+	}
+	if ls.polled {
+		s.queueReady(ls.shard, ls.cid, nqe.ReadyAcceptable)
+	}
+	// Deliver anything that arrived before the accepts; the OpNewConn
+	// batch is already in the rings (and rides the priority lane), so
+	// each connection's data events order behind its announcement.
+	for _, cid := range cids {
 		s.NewDataCallback(cid)
 	}
 }
@@ -602,6 +893,9 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 				if !cs.eofSent {
 					cs.eofSent = true
 					s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+					if cs.polled {
+						s.queueReady(cs.shard, cid, nqe.ReadyClosed)
+					}
 				}
 			}
 			return
@@ -627,6 +921,9 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 			if eof && !cs.eofSent {
 				cs.eofSent = true
 				s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: nqe.StatusOK})
+				if cs.polled {
+					s.queueReady(cs.shard, cid, nqe.ReadyClosed)
+				}
 			}
 			return
 		}
@@ -636,6 +933,9 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 			Op: nqe.OpNewData, CID: cid,
 			DataOff: chunk.Offset, DataLen: uint32(n),
 		})
+		if cs.polled {
+			s.queueReady(cs.shard, cid, nqe.ReadyReadable)
+		}
 		flush = false // only the first read after a flush may be short
 	}
 }
@@ -647,7 +947,17 @@ func (s *ServiceLib) deliverData(cid uint32, flush bool) {
 // module) pushes them into the conn's rcvBuf, whose fill closes the TCP
 // window — ordinary flow control remains the backstop.
 func (s *ServiceLib) makeSink(cs *connState) func([]byte) int {
-	return func(p []byte) int { return s.sinkData(cs, p) }
+	// Captured by cid, not pointer: connStates recycle through the slab
+	// pool, and a stale sink invocation after teardown must find
+	// nothing — not another connection reincarnated in the same object.
+	cid := cs.cid
+	return func(p []byte) int {
+		c := s.conns[cid]
+		if c == nil {
+			return 0
+		}
+		return s.sinkData(c, p)
+	}
 }
 
 func (s *ServiceLib) sinkData(cs *connState, p []byte) int {
@@ -691,6 +1001,9 @@ func (s *ServiceLib) emitRxChunk(cs *connState) {
 		Op: nqe.OpNewData, CID: cs.cid,
 		DataOff: cs.rxChunk.Offset, DataLen: uint32(cs.rxFill),
 	})
+	if cs.polled {
+		s.queueReady(cs.shard, cs.cid, nqe.ReadyReadable)
+	}
 	cs.rxHave, cs.rxFill = false, 0
 }
 
@@ -793,6 +1106,11 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 	if !cs.eofSent {
 		cs.eofSent = true
 		s.emit(cs.shard, nkchan.Receive, &nqe.Element{Op: nqe.OpConnClosed, CID: cid, Status: statusFromErr(err)})
+		if cs.polled {
+			// The pending entry outlives the connState: the ready queue
+			// carries (cid, mask) pairs, not pointers.
+			s.queueReady(cs.shard, cid, nqe.ReadyClosed)
+		}
 	}
 	// Release still-queued send chunks. (Chunks already handed to the
 	// conn as spans are released by the conn's own teardown.)
@@ -808,6 +1126,7 @@ func (s *ServiceLib) connClosed(cid uint32, err error) {
 		cs.rxHave, cs.rxFill = false, 0
 	}
 	delete(s.conns, cid)
+	s.freeConnState(cs)
 }
 
 // Crash models the module process dying: all per-connection state
@@ -843,13 +1162,18 @@ func (s *ServiceLib) Crash() {
 	}
 	for shard := range s.overflow {
 		for _, se := range s.overflow[shard] {
-			if se.e.Op == nqe.OpNewData && se.e.DataLen > 0 {
+			if (se.e.Op == nqe.OpNewData || se.e.Op == nqe.OpReady) && se.e.DataLen > 0 {
 				s.cfg.Pair.Pages.Free(shm.Chunk{Offset: se.e.DataOff})
 			}
 			s.cfg.Tracer.Drop(se.e.Trace)
 		}
 		s.overflow[shard] = nil
 	}
+	// Pending readiness holds no chunks (they are allocated at flush
+	// time) — just drop the entries; a timer firing later finds the
+	// module dead and bails.
+	s.ready = make([]readyShard, s.nshards())
+	s.connPool = nil
 	s.conns = make(map[uint32]*connState)
 	s.listeners = make(map[uint32]*listenerState)
 }

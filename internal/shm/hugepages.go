@@ -20,13 +20,86 @@ type Chunk struct {
 // one shard per chunk; anything realistic gets the full set.
 const hugePageShards = 8
 
+// DefaultSmallChunkSize is the small size class granularity (DESIGN.md
+// §11): big enough for an RPC header + tiny payload, small enough that
+// a 64 B message does not monopolize an 8 KB bulk chunk.
+const DefaultSmallChunkSize = 256
+
 type hpShard struct {
 	mu   sync.Mutex
 	free []int32
 }
 
+// chunkClass is one size class's allocation state: a contiguous index
+// range of equally-sized chunks with sharded LIFO free lists.
+type chunkClass struct {
+	chunkSize int
+	baseOff   uint64 // byte offset of the class's first chunk
+	baseIdx   int32  // global chunk index of the class's first chunk
+	count     int32
+	shardSize int // chunk indexes per shard (class-local)
+	shards    []hpShard
+	cursor    atomic.Uint32 // rotating preferred shard
+}
+
+// init lays out the class's free lists so the lowest chunk pops first
+// (cache warmth, and the historical allocation order within a shard).
+func (cc *chunkClass) init() {
+	nshards := hugePageShards
+	if int(cc.count) < nshards {
+		nshards = int(cc.count)
+	}
+	cc.shardSize = (int(cc.count) + nshards - 1) / nshards
+	cc.shards = make([]hpShard, nshards)
+	for i := cc.count - 1; i >= 0; i-- {
+		s := &cc.shards[int(i)/cc.shardSize]
+		s.free = append(s.free, cc.baseIdx+i)
+	}
+}
+
+func (cc *chunkClass) allocFrom(start int) (int32, bool) {
+	for i := 0; i < len(cc.shards); i++ {
+		s := &cc.shards[(start+i)%len(cc.shards)]
+		s.mu.Lock()
+		n := len(s.free)
+		if n == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.mu.Unlock()
+		return idx, true
+	}
+	return -1, false
+}
+
+func (cc *chunkClass) release(idx int32) {
+	s := &cc.shards[int(idx-cc.baseIdx)/cc.shardSize]
+	s.mu.Lock()
+	s.free = append(s.free, idx)
+	s.mu.Unlock()
+}
+
+func (cc *chunkClass) freeCount() int {
+	n := 0
+	for i := range cc.shards {
+		cc.shards[i].mu.Lock()
+		n += len(cc.shards[i].free)
+		cc.shards[i].mu.Unlock()
+	}
+	return n
+}
+
 // HugePages is a refcounted chunk allocator over a shared Region,
 // standing in for the per-VM↔NSM huge-page area.
+//
+// The region holds up to two size classes: the bulk class (ChunkSize,
+// the streaming data path) and an optional small class (SmallChunkSize)
+// carved from dedicated pages at the top of the region, so a 64 B RPC
+// does not burn a 2 MB-backed bulk chunk per round trip (DESIGN.md
+// §11). A chunk's class is implied by its offset, so descriptors on the
+// nqe wire need no class field and Free/Retain/Bytes work unchanged.
 //
 // The free lists are sharded: each chunk has a home shard (a contiguous
 // index range), Free returns a chunk to its home shard, and Alloc starts
@@ -42,58 +115,93 @@ type hpShard struct {
 // chunk returns to its home free list only when the last reference is
 // dropped. Releasing a chunk that is already free panics, as before.
 type HugePages struct {
-	region    *Region
-	chunkSize int
+	region *Region
 
-	shardSize int // chunk indexes per shard
-	shards    []hpShard
-	cursor    atomic.Uint32 // rotating preferred shard for Alloc
-	refs      []atomic.Int32
+	big   chunkClass
+	small chunkClass // count 0 when the region has no small class
+	refs  []atomic.Int32
 }
 
 // NewHugePages builds an allocator of pages×PageSize bytes divided into
 // chunkSize chunks. chunkSize must divide PageSize.
 func NewHugePages(pages, chunkSize int) (*HugePages, error) {
+	return NewHugePagesSized(pages, chunkSize, 0, 0)
+}
+
+// NewHugePagesSized builds an allocator with pages×PageSize bytes of
+// chunkSize bulk chunks plus smallPages×PageSize bytes of smallSize
+// chunks (the short-flow size class). smallPages 0 disables the small
+// class; smallSize 0 selects DefaultSmallChunkSize.
+func NewHugePagesSized(pages, chunkSize, smallPages, smallSize int) (*HugePages, error) {
 	if pages <= 0 {
 		return nil, fmt.Errorf("shm: non-positive page count %d", pages)
 	}
 	if chunkSize <= 0 || PageSize%chunkSize != 0 {
 		return nil, fmt.Errorf("shm: chunk size %d must be positive and divide the %d-byte page", chunkSize, PageSize)
 	}
-	n := pages * (PageSize / chunkSize)
-	nshards := hugePageShards
-	if n < nshards {
-		nshards = n
+	if smallPages < 0 {
+		return nil, fmt.Errorf("shm: negative small page count %d", smallPages)
+	}
+	if smallPages > 0 {
+		if smallSize == 0 {
+			smallSize = DefaultSmallChunkSize
+		}
+		if smallSize <= 0 || PageSize%smallSize != 0 {
+			return nil, fmt.Errorf("shm: small chunk size %d must be positive and divide the %d-byte page", smallSize, PageSize)
+		}
+		if smallSize >= chunkSize {
+			return nil, fmt.Errorf("shm: small chunk size %d must be below the bulk chunk size %d", smallSize, chunkSize)
+		}
+	}
+	nBig := pages * (PageSize / chunkSize)
+	nSmall := 0
+	if smallPages > 0 {
+		nSmall = smallPages * (PageSize / smallSize)
 	}
 	h := &HugePages{
-		region:    NewRegion(pages * PageSize),
-		chunkSize: chunkSize,
-		shardSize: (n + nshards - 1) / nshards,
-		shards:    make([]hpShard, nshards),
-		refs:      make([]atomic.Int32, n),
+		region: NewRegion((pages + smallPages) * PageSize),
+		big: chunkClass{
+			chunkSize: chunkSize, baseOff: 0, baseIdx: 0, count: int32(nBig),
+		},
+		refs: make([]atomic.Int32, nBig+nSmall),
 	}
-	// Per-shard LIFO free lists ordered so the lowest chunk pops first
-	// (cache warmth, and the historical allocation order within a shard).
-	for idx := n - 1; idx >= 0; idx-- {
-		s := &h.shards[idx/h.shardSize]
-		s.free = append(s.free, int32(idx))
+	h.big.init()
+	if nSmall > 0 {
+		h.small = chunkClass{
+			chunkSize: smallSize,
+			baseOff:   uint64(pages) * PageSize,
+			baseIdx:   int32(nBig),
+			count:     int32(nSmall),
+		}
+		h.small.init()
 	}
 	return h, nil
 }
 
-// ChunkSize returns the fixed chunk size in bytes.
-func (h *HugePages) ChunkSize() int { return h.chunkSize }
+// ChunkSize returns the bulk chunk size in bytes.
+func (h *HugePages) ChunkSize() int { return h.big.chunkSize }
 
-// Chunks returns the total number of chunks.
+// SmallChunkSize returns the small-class chunk size, 0 when the region
+// has no small class.
+func (h *HugePages) SmallChunkSize() int {
+	if h.small.count == 0 {
+		return 0
+	}
+	return h.small.chunkSize
+}
+
+// Chunks returns the total number of chunks across both classes.
 func (h *HugePages) Chunks() int { return len(h.refs) }
 
-// FreeCount returns the number of chunks currently available.
+// SmallChunks returns the small-class chunk count (0 when disabled).
+func (h *HugePages) SmallChunks() int { return int(h.small.count) }
+
+// FreeCount returns the number of chunks currently available (both
+// classes).
 func (h *HugePages) FreeCount() int {
-	n := 0
-	for i := range h.shards {
-		h.shards[i].mu.Lock()
-		n += len(h.shards[i].free)
-		h.shards[i].mu.Unlock()
+	n := h.big.freeCount()
+	if h.small.count > 0 {
+		n += h.small.freeCount()
 	}
 	return n
 }
@@ -112,45 +220,58 @@ func (h *HugePages) LiveRefs() int {
 // RefCount reports the chunk's current reference count (0 = free).
 func (h *HugePages) RefCount(c Chunk) int { return int(h.refs[h.index(c)].Load()) }
 
-// Alloc reserves one chunk with a reference count of one. It reports
-// false when the region is full, which callers treat as backpressure
-// (§3.2: the sender stalls until the receiver consumes and frees).
+// SizeOf reports the chunk's capacity: its class's chunk size.
+func (h *HugePages) SizeOf(c Chunk) int { return h.classOf(h.index(c)).chunkSize }
+
+// Alloc reserves one bulk chunk with a reference count of one. It
+// reports false when the class is exhausted, which callers treat as
+// backpressure (§3.2: the sender stalls until the receiver consumes and
+// frees).
 //
 // The search starts at a rotating preferred shard and work-steals from
 // the remaining shards on a miss, so concurrent allocators spread across
 // the free lists instead of queueing on one lock.
 func (h *HugePages) Alloc() (Chunk, bool) {
-	return h.allocFrom(int(h.cursor.Add(1)-1) % len(h.shards))
+	return h.allocClass(&h.big, int(h.big.cursor.Add(1)-1))
 }
 
-// AllocOn reserves one chunk preferring the given shard's free list,
-// falling back to work-stealing like Alloc. Sharded datapath layers
-// pass their flow shard here so a connection's chunks cluster on one
-// free list (cache affinity), without perturbing the rotating cursor
+// AllocOn reserves one bulk chunk preferring the given shard's free
+// list, falling back to work-stealing like Alloc. Sharded datapath
+// layers pass their flow shard here so a connection's chunks cluster on
+// one free list (cache affinity), without perturbing the rotating cursor
 // that unsharded callers share.
 func (h *HugePages) AllocOn(pref int) (Chunk, bool) {
 	if pref < 0 {
 		pref = -pref
 	}
-	return h.allocFrom(pref % len(h.shards))
+	return h.allocClass(&h.big, pref)
 }
 
-func (h *HugePages) allocFrom(start int) (Chunk, bool) {
-	for i := 0; i < len(h.shards); i++ {
-		s := &h.shards[(start+i)%len(h.shards)]
-		s.mu.Lock()
-		n := len(s.free)
-		if n == 0 {
-			s.mu.Unlock()
-			continue
-		}
-		idx := s.free[n-1]
-		s.free = s.free[:n-1]
-		s.mu.Unlock()
-		h.refs[idx].Store(1)
-		return Chunk{Offset: uint64(idx) * uint64(h.chunkSize)}, true
+// AllocSized reserves the cheapest chunk that holds size bytes on the
+// preferred shard: the small class when the payload fits and the class
+// exists (falling back to a bulk chunk when the small class is
+// exhausted), the bulk class otherwise. This is the short-flow
+// allocation entry point — tiny RPCs recycle 256 B slots instead of
+// cycling 8 KB bulk chunks through the free lists.
+func (h *HugePages) AllocSized(size, pref int) (Chunk, bool) {
+	if pref < 0 {
+		pref = -pref
 	}
-	return Chunk{}, false
+	if h.small.count > 0 && size <= h.small.chunkSize {
+		if c, ok := h.allocClass(&h.small, pref); ok {
+			return c, true
+		}
+	}
+	return h.allocClass(&h.big, pref)
+}
+
+func (h *HugePages) allocClass(cc *chunkClass, start int) (Chunk, bool) {
+	idx, ok := cc.allocFrom(start % len(cc.shards))
+	if !ok {
+		return Chunk{}, false
+	}
+	h.refs[idx].Store(1)
+	return h.chunkAt(idx), true
 }
 
 // Retain adds a reference to an allocated chunk. It panics if the chunk
@@ -179,22 +300,41 @@ func (h *HugePages) Free(c Chunk) {
 	if n > 0 {
 		return // other holders remain
 	}
-	s := &h.shards[int(idx)/h.shardSize]
-	s.mu.Lock()
-	s.free = append(s.free, idx)
-	s.mu.Unlock()
+	h.classOf(idx).release(idx)
 }
 
-func (h *HugePages) index(c Chunk) int32 {
-	if c.Offset%uint64(h.chunkSize) != 0 || c.Offset >= uint64(h.region.Size()) {
-		panic(fmt.Sprintf("shm: chunk offset %d invalid for chunk size %d, region %d", c.Offset, h.chunkSize, h.region.Size()))
+// classOf returns the size class owning a global chunk index.
+func (h *HugePages) classOf(idx int32) *chunkClass {
+	if idx >= h.big.count {
+		return &h.small
 	}
-	return int32(c.Offset / uint64(h.chunkSize))
+	return &h.big
 }
 
-// Bytes returns the chunk's full window. The slice aliases shared memory.
+// chunkAt returns the Chunk for a global index.
+func (h *HugePages) chunkAt(idx int32) Chunk {
+	cc := h.classOf(idx)
+	return Chunk{Offset: cc.baseOff + uint64(idx-cc.baseIdx)*uint64(cc.chunkSize)}
+}
+
+// index maps a chunk offset to its global index, dispatching on the
+// class boundary so both size classes share one refcount array.
+func (h *HugePages) index(c Chunk) int32 {
+	cc := &h.big
+	if h.small.count > 0 && c.Offset >= h.small.baseOff {
+		cc = &h.small
+	}
+	rel := c.Offset - cc.baseOff
+	if rel%uint64(cc.chunkSize) != 0 || c.Offset >= uint64(h.region.Size()) {
+		panic(fmt.Sprintf("shm: chunk offset %d invalid for chunk size %d, region %d", c.Offset, cc.chunkSize, h.region.Size()))
+	}
+	return cc.baseIdx + int32(rel/uint64(cc.chunkSize))
+}
+
+// Bytes returns the chunk's full window (its class's chunk size). The
+// slice aliases shared memory.
 func (h *HugePages) Bytes(c Chunk) []byte {
-	b, err := h.region.Slice(int(c.Offset), h.chunkSize)
+	b, err := h.region.Slice(int(c.Offset), h.classOf(h.index(c)).chunkSize)
 	if err != nil {
 		panic("shm: " + err.Error())
 	}
@@ -202,9 +342,9 @@ func (h *HugePages) Bytes(c Chunk) []byte {
 }
 
 // Write copies data into the chunk and returns the number of bytes
-// copied, truncating at the chunk size. This is GuestLib's send-side copy
-// (§3.2: "GuestLib intercepts the call and puts the data into the huge
-// pages").
+// copied, truncating at the chunk's capacity. This is GuestLib's
+// send-side copy (§3.2: "GuestLib intercepts the call and puts the data
+// into the huge pages").
 func (h *HugePages) Write(c Chunk, data []byte) int {
 	return copy(h.Bytes(c), data)
 }
@@ -212,8 +352,9 @@ func (h *HugePages) Write(c Chunk, data []byte) int {
 // Read copies n bytes of the chunk into buf, returning the number copied.
 // This is the receive-side copy out of the huge pages.
 func (h *HugePages) Read(c Chunk, buf []byte, n int) int {
-	if n > h.chunkSize {
-		n = h.chunkSize
+	b := h.Bytes(c)
+	if n > len(b) {
+		n = len(b)
 	}
-	return copy(buf, h.Bytes(c)[:n])
+	return copy(buf, b[:n])
 }
