@@ -40,6 +40,7 @@ import (
 	"netkernel/internal/nkqueue"
 	"netkernel/internal/proto/ipv4"
 	"netkernel/internal/sim"
+	"netkernel/internal/stack"
 	"netkernel/internal/vswitch"
 )
 
@@ -67,6 +68,12 @@ type Profile struct {
 	// CrashAt reboots the server-side NSM at these times (from
 	// workload start).
 	CrashAt []time.Duration
+	// Migrations schedules live migrations of the server-side NSM
+	// (times from workload start): each point boots a fresh module and
+	// cuts every tenant over mid-transfer, connections intact. Points
+	// fire against whatever module serves the VM at that moment, so
+	// chained migrations follow the previous successor.
+	Migrations []MigrationPoint
 
 	// Conns is how many client connections the workload opens.
 	Conns int
@@ -105,6 +112,18 @@ type Flap struct {
 	Outage time.Duration
 }
 
+// MigrationPoint is one scheduled live migration of the server NSM.
+type MigrationPoint struct {
+	At time.Duration
+	// CC is the successor's congestion control: "" keeps the donor's (a
+	// pure build swap), anything else hot-swaps every live flow.
+	CC string
+	// FailAfter > 0 injects a restore fault once that many connections
+	// have revived on the successor, forcing the abort path: the
+	// migration falls back to crash-reboot semantics for the donor.
+	FailAfter int
+}
+
 // ConnReport is the post-run record of one workload connection.
 type ConnReport struct {
 	ID          int
@@ -130,6 +149,18 @@ type Result struct {
 	Eng1, Eng2 hypervisor.EngineStats
 	Pending    int
 	Restarts   int
+
+	// Migrated and MigAborted count the server module's completed and
+	// aborted live migrations; MigConns and MigStall accumulate what the
+	// completed cutovers moved and stalled. ServerStats is the final
+	// serving stack's counters — after a migration, the successor's —
+	// so the determinism contract covers post-handoff protocol behavior
+	// (seq spaces, retransmits, CC evolution) byte for byte.
+	Migrated    int
+	MigAborted  int
+	MigConns    int
+	MigStall    time.Duration
+	ServerStats stack.Stats
 
 	// Spans holds both hosts' completed pipeline spans, formatted with
 	// their hop names and virtual-time offsets (empty unless the
@@ -166,6 +197,15 @@ type harness struct {
 	recvBuf  []byte
 	shutdown bool
 	lfd      int32
+
+	// Live-migration bookkeeping: donors holds every module the server
+	// VM migrated away from (their registry scopes and dead stacks must
+	// stay consistent), migrated/migAborted count outcomes.
+	donors     []*hypervisor.NSM
+	migrated   int
+	migAborted int
+	migConns   int
+	migStall   time.Duration
 
 	// namesBoot is each host's full registry name set right after VM
 	// creation; untraced scenarios re-check it after quiesce so NSM
@@ -285,6 +325,10 @@ func (h *harness) run() *Result {
 			h.h2.RestartNSM(h.server.NSM)
 		})
 	}
+	for _, mp := range prof.Migrations {
+		mp := mp
+		h.loop.AfterFunc(mp.At, func() { h.migrateServer(mp) })
+	}
 
 	h.loop.RunFor(prof.Run)
 	h.shutdown = true
@@ -299,6 +343,10 @@ func (h *harness) run() *Result {
 		Eng1: h.h1.Engine.Stats(), Eng2: h.h2.Engine.Stats(),
 		Pending:  h.loop.Pending(),
 		Restarts: h.server.NSM.Restarts,
+
+		Migrated: h.migrated, MigAborted: h.migAborted,
+		MigConns: h.migConns, MigStall: h.migStall,
+		ServerStats: h.server.NSM.Stack.Stats(),
 	}
 	for _, host := range []*hypervisor.Host{h.h1, h.h2} {
 		for _, sp := range host.Tracer.Completed() {
@@ -442,6 +490,35 @@ func (h *harness) serveConn(fd int32) {
 	})
 	read()
 	pushEcho()
+}
+
+// migrateServer live-migrates the module currently serving the server
+// VM onto a fresh one, tracing the outcome. The guest-side workload is
+// untouched: its descriptors, callbacks, and in-flight transfers ride
+// the cutover.
+func (h *harness) migrateServer(mp MigrationPoint) {
+	nsm := h.server.NSM // the module at fire time: chained points follow successors
+	h.tracef("chaos: migrate server NSM cc=%q failAfter=%d", mp.CC, mp.FailAfter)
+	_, err := h.h2.MigrateNSM(nsm,
+		hypervisor.NSMSpec{Form: hypervisor.FormModule, CC: mp.CC},
+		hypervisor.MigrateOptions{FailRestoreAfter: mp.FailAfter},
+		func(m *hypervisor.Migration) {
+			if m.Aborted {
+				h.migAborted++
+				h.tracef("chaos: migration aborted after %d conns (%v)", m.Conns, m.Err)
+				return
+			}
+			h.migrated++
+			h.migConns += m.Conns
+			h.migStall += m.Stall
+			h.donors = append(h.donors, m.From)
+			h.tracef("chaos: migration complete vms=%d conns=%d stall=%v", m.VMs, m.Conns, m.Stall)
+		})
+	if err != nil {
+		// The module was mid-boot after a crash, or already migrating:
+		// the scenario keeps running, the point just records as refused.
+		h.tracef("chaos: migration refused (%v)", err)
+	}
 }
 
 // startConn opens workload connection i: send a framed payload, expect
@@ -615,6 +692,17 @@ func (h *harness) checkPools(t *testing.T) {
 			t.Errorf("[seed %d] stack %s holds %d connections after quiesce", h.seed, nsm.Stack.Name(), n)
 		}
 	}
+	// Migration donors: every connection either moved to the successor
+	// or was dropped at cutover — a donor stack retaining state after
+	// the handoff would be a leak no tenant can ever reach.
+	for _, donor := range h.donors {
+		if !donor.Stack.Dead() {
+			t.Errorf("[seed %d] donor stack %s still alive after migration", h.seed, donor.Stack.Name())
+		}
+		if n := donor.Stack.ConnCount(); n != 0 {
+			t.Errorf("[seed %d] donor stack %s holds %d connections after handoff", h.seed, donor.Stack.Name(), n)
+		}
+	}
 }
 
 // checkTelemetry verifies the unified registry against ground truth
@@ -737,15 +825,54 @@ func (h *harness) checkTelemetry(t *testing.T) {
 		}
 	}
 
+	// Telemetry conservation across the old and new registry scopes:
+	// the donor's scope survives a migration (operators can still read
+	// the decommissioned module's final counters), but its live gauges
+	// must sample the dead stack as empty — a nonzero donor conn gauge
+	// after handoff means a connection escaped the cutover.
+	for _, donor := range h.donors {
+		snap := h.h2.Snapshot()
+		prefix := fmt.Sprintf("nsm%d.stack.", donor.ID)
+		for i := 0; i < donor.Stack.RxShards(); i++ {
+			name := fmt.Sprintf("%ss%d.conns", prefix, i)
+			if g := snap.Gauge(name); g != 0 {
+				t.Errorf("[seed %d] donor gauge %s = %d after handoff, want 0", h.seed, name, g)
+			}
+		}
+		st := donor.Stack.Stats()
+		for metric, want := range map[string]uint64{
+			prefix + "frames_in":  st.FramesIn,
+			prefix + "frames_out": st.FramesOut,
+		} {
+			if got := snap.Counter(metric); got != want {
+				t.Errorf("[seed %d] donor registry %s = %d, frozen ledger %d", h.seed, metric, got, want)
+			}
+		}
+	}
+
 	// Name-set stability: everything registers at boot, and restarts
 	// re-register last-wins under identical names, so the registry's
 	// name set after quiesce must equal the boot capture. (Traced runs
 	// create span histograms lazily mid-run, so only untraced profiles
-	// pin the full set.)
+	// pin the full set.) A migration legitimately adds the successor
+	// module's scope, so those profiles check containment instead: every
+	// boot name must survive, with growth only from the new scopes.
 	if h.prof.TraceSampleEvery == 0 {
 		for name, host := range map[string]*hypervisor.Host{"h1": h.h1, "h2": h.h2} {
 			now := host.Metrics.Names()
 			boot := h.namesBoot[name]
+			if len(h.prof.Migrations) > 0 {
+				set := make(map[string]bool, len(now))
+				for _, n := range now {
+					set[n] = true
+				}
+				for _, n := range boot {
+					if !set[n] {
+						t.Errorf("[seed %d] host %s registry lost boot name %q across migration", h.seed, name, n)
+					}
+				}
+				continue
+			}
 			if len(now) != len(boot) {
 				t.Errorf("[seed %d] host %s registry grew from %d to %d names across the run (restart leak?)",
 					h.seed, name, len(boot), len(now))
@@ -798,6 +925,15 @@ func Equal(a, b *Result) (string, bool) {
 	}
 	if a.Eng1 != b.Eng1 || a.Eng2 != b.Eng2 {
 		return "engine stats differ", false
+	}
+	if a.Migrated != b.Migrated || a.MigAborted != b.MigAborted ||
+		a.MigConns != b.MigConns || a.MigStall != b.MigStall {
+		return fmt.Sprintf("migration schedule diverged: %d/%d conns=%d stall=%v vs %d/%d conns=%d stall=%v",
+			a.Migrated, a.MigAborted, a.MigConns, a.MigStall,
+			b.Migrated, b.MigAborted, b.MigConns, b.MigStall), false
+	}
+	if a.ServerStats != b.ServerStats {
+		return fmt.Sprintf("post-migration server stack stats differ:\n  %+v\n  %+v", a.ServerStats, b.ServerStats), false
 	}
 	if len(a.Spans) != len(b.Spans) {
 		return fmt.Sprintf("span count %d vs %d", len(a.Spans), len(b.Spans)), false

@@ -258,6 +258,19 @@ func (sh *pairShard) kickNSM() {
 	sh.ep.engine.clock.AfterFunc(sh.ep.delay(), sh.pumpNSM)
 }
 
+// gated defers a pump that fires inside a freeze window (a kick
+// scheduled before FreezeNSM/RebindNSM moved readyAt forward): the
+// pump re-queues itself for the gate's end instead of running. This is
+// what makes the migration stall a hard bound — no element crosses the
+// engine while the pair is quiesced.
+func (sh *pairShard) gated(rekick func()) bool {
+	if sh.ep.engine.clock.Now() >= sh.ep.readyAt {
+		return false
+	}
+	rekick()
+	return true
+}
+
 // pumpVM drains the shard's VM job queue into its NSM job queue in
 // batches, translating <VM ID, fd> to <NSM ID, cID> via the shard's
 // slice of the mapping table. Each span pops with one atomic add,
@@ -267,6 +280,9 @@ func (sh *pairShard) kickNSM() {
 // and rings the NSM doorbell once.
 func (sh *pairShard) pumpVM() {
 	sh.vmScheduled = false
+	if sh.gated(sh.kickVM) {
+		return
+	}
 	ep := sh.ep
 	ce := ep.engine
 	count := 0
@@ -399,6 +415,9 @@ func (sh *pairShard) translateSlotToNSM(s nqe.Slot) bool {
 // place.
 func (sh *pairShard) pumpNSM() {
 	sh.nsmScheduled = false
+	if sh.gated(sh.kickNSM) {
+		return
+	}
 	ep := sh.ep
 	ce := ep.engine
 	count := 0
@@ -635,6 +654,57 @@ func (sh *pairShard) translateReady(s nqe.Slot) bool {
 	s.SetDataLen(uint32(kept * nqe.ReadyEntrySize))
 	ce.stats.Translated++
 	return true
+}
+
+// FreezeNSM gates pumping on every channel served by nsmID until
+// `until`: kicks issued from now on stretch to the gate, and pumps
+// already scheduled re-queue themselves when they fire inside the
+// window. Unlike ResetNSM nothing is discarded — ring contents, stall
+// buffers, mapping tables, and pending socket jobs all survive. This
+// is the quiesce step of a live migration: the guest keeps producing
+// into its rings and observes only a bounded stall. Returns the number
+// of channels frozen.
+func (ce *CoreEngine) FreezeNSM(nsmID uint32, until sim.Time) int {
+	n := 0
+	for _, ep := range ce.pairs {
+		if ep.nsmID == nsmID {
+			ep.readyAt = until
+			n++
+		}
+	}
+	return n
+}
+
+// RebindNSM retargets every channel served by oldID onto newID and
+// resumes pumping at resumeAt. The fd↔cID tables, the descriptor
+// allocator, stall buffers, and queued elements survive verbatim: the
+// mapping relation is an invariant of the guest-visible sockets, not
+// of the serving module, and the migration protocol reconstructs the
+// same cIDs on the successor. This is the commit point of a migration
+// — after it, ResetNSM(oldID) no longer matches these channels, so an
+// abort must happen before rebinding. Returns the number of channels
+// rebound.
+func (ce *CoreEngine) RebindNSM(oldID, newID uint32, resumeAt sim.Time) int {
+	n := 0
+	for _, ep := range ce.pairs {
+		if ep.nsmID != oldID {
+			continue
+		}
+		ep.nsmID = newID
+		ep.readyAt = resumeAt
+		n++
+		pair := ep
+		// Wake both directions once the gate opens: guest jobs queued
+		// during the stall pump to the successor, and the successor's
+		// first emissions pump back.
+		ce.clock.AfterFunc(pair.delay(), func() {
+			for _, sh := range pair.shards {
+				sh.kickVM()
+				sh.kickNSM()
+			}
+		})
+	}
+	return n
 }
 
 // ResetNSM handles the crash of module nsmID: for every channel the

@@ -341,8 +341,22 @@ type NSM struct {
 	// attach binds a stack to the module's fixed network identity
 	// (MAC, IP, fabric port); restarts reuse it.
 	attach func(*stack.Stack)
+	// migratedTo points at the successor after a live migration: frames
+	// arriving on this module's network identity chase the chain to the
+	// stack currently serving its connections.
+	migratedTo *NSM
 
 	host *Host
+}
+
+// liveStack resolves the stack currently serving this module's network
+// identity, chasing migration redirects.
+func (n *NSM) liveStack() *stack.Stack {
+	m := n
+	for m.migratedTo != nil {
+		m = m.migratedTo
+	}
+	return m.Stack
 }
 
 // Tenants returns how many VMs the module serves.
@@ -403,6 +417,19 @@ func (h *Host) makeAttachment(current func() *stack.Stack, ip ipv4.Addr, sriov b
 // by CreateVM; exposed for scale-out scenarios). ip is the module's
 // network identity.
 func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
+	n := h.bootDetachedNSM(spec)
+	// Frames on the module's identity deliver through liveStack, so the
+	// attachment survives both crash-reboots (same module, fresh stack)
+	// and live migrations (successor module adopts the identity).
+	n.attach = h.makeAttachment(func() *stack.Stack { return n.liveStack() }, ip, spec.SRIOV)
+	n.attach(n.Stack)
+	return n
+}
+
+// bootDetachedNSM provisions a module without a network identity: the
+// migration path boots the successor this way and hands it the donor's
+// identity at cutover.
+func (h *Host) bootDetachedNSM(spec NSMSpec) *NSM {
 	if spec.CC == "" {
 		spec.CC = "cubic"
 	}
@@ -429,8 +456,6 @@ func (h *Host) BootNSM(spec NSMSpec, ip ipv4.Addr) *NSM {
 	// shard count (Shards <= 0 stays the legacy single-table stack).
 	n.Stack = stack.New(h.stackConfig(fmt.Sprintf("%s/nsm%d-%s", h.cfg.Name, n.ID, spec.CC), spec.CC, cpu,
 		h.cfg.Shards, h.Metrics.Scope(fmt.Sprintf("nsm%d.stack.", n.ID))))
-	n.attach = h.makeAttachment(func() *stack.Stack { return n.Stack }, ip, spec.SRIOV)
-	n.attach(n.Stack)
 	h.nsms[n.ID] = n
 	return n
 }

@@ -1,0 +1,226 @@
+package hypervisor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netkernel/internal/guestlib"
+)
+
+// TestMigrateConcurrentWithChurn extends the sharded-churn -race gate
+// across a live migration: while the event loop churns connections of
+// one tenant (vma→vmb echo-close respawn across a 4-shard datapath),
+// the NSM serving vmb — shared with a second tenant vmc holding
+// long-lived connections — is live-migrated mid-churn, serializing
+// both tenants' connection state while the shard pumps stay busy. A
+// wall-clock monitor goroutine concurrently hammers every
+// cross-goroutine reader that must stay lock-correct through the
+// freeze/serialize/rebind/resume sequence: the engine's per-shard
+// fd↔cID mappings and flow-affinity checker, the ServiceLib stats
+// surfaces, and the huge-page pool counters. Any unsynchronized read
+// in the shard plumbing or the migration path fails under `go test
+// -race`.
+func TestMigrateConcurrentWithChurn(t *testing.T) {
+	c := newCluster(t, func(cfg *HostConfig) { cfg.Shards = 4 })
+	vma, vmb := c.nkPair(t, "cubic", "cubic")
+
+	// vmc multiplexes onto vmb's NSM (sharing its network identity) and
+	// serves a second port, so the migration moves two pumps at once.
+	vmc, err := c.h2.CreateVM(VMConfig{
+		Name: "vmc", IP: ipVMB, Mode: ModeNetKernel,
+		NSM: NSMSpec{Form: FormModule, CC: "cubic", ShareWith: vmb.NSM},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.loop.RunFor(10 * time.Millisecond)
+
+	// Echo-close churn server on vmb (port 80), long-lived echo on vmc
+	// (port 81).
+	srv := vmb.Guest
+	lfd := srv.Socket(guestlib.Callbacks{})
+	srv.SetCallbacks(lfd, guestlib.Callbacks{OnAcceptable: func() {
+		for {
+			fd, ok := srv.Accept(lfd)
+			if !ok {
+				return
+			}
+			buf := make([]byte, 4096)
+			srv.SetCallbacks(fd, guestlib.Callbacks{OnReadable: func() {
+				n, _ := srv.Recv(fd, buf)
+				if n > 0 {
+					srv.Send(fd, buf[:n])
+					srv.Close(fd)
+				}
+			}})
+		}
+	}})
+	if err := srv.Listen(lfd, 80, 64); err != nil {
+		t.Fatal(err)
+	}
+	startEcho(t, vmc.Guest, 81)
+
+	// Churn client: 16 slots, each closed connection respawns.
+	const slots = 16
+	cli := vma.Guest
+	completed := 0
+	var spawn func()
+	spawn = func() {
+		var fd int32
+		fd = cli.Socket(guestlib.Callbacks{
+			OnEstablished: func(err error) {
+				if err != nil {
+					return
+				}
+				cli.Send(fd, []byte("ping"))
+			},
+			OnReadable: func() {
+				buf := make([]byte, 64)
+				_, eof := cli.Recv(fd, buf)
+				if eof {
+					cli.Close(fd)
+				}
+			},
+			OnClose: func(error) {
+				completed++
+				spawn()
+			},
+		})
+		cli.Connect(fd, ipVMB, 80)
+	}
+	for i := 0; i < slots; i++ {
+		spawn()
+	}
+
+	// Long-lived tenant connections to vmc that must survive the
+	// migration: periodic pings, echoes collected.
+	type longConn struct {
+		fd       int32
+		echoed   int
+		closeErr error
+	}
+	var longs []*longConn
+	for i := 0; i < 4; i++ {
+		lc := &longConn{closeErr: errSentinel}
+		lc.fd = cli.Socket(guestlib.Callbacks{
+			OnReadable: func() {
+				buf := make([]byte, 4096)
+				for {
+					n, _ := cli.Recv(lc.fd, buf)
+					if n == 0 {
+						return
+					}
+					lc.echoed += n
+				}
+			},
+			OnClose: func(err error) { lc.closeErr = err },
+		})
+		if err := cli.Connect(lc.fd, ipVMB, 81); err != nil {
+			t.Fatal(err)
+		}
+		longs = append(longs, lc)
+	}
+	var tick func()
+	tick = func() {
+		for _, lc := range longs {
+			cli.Send(lc.fd, []byte("keepalive"))
+		}
+		c.loop.AfterFunc(500*time.Microsecond, tick)
+	}
+	c.loop.AfterFunc(time.Millisecond, tick)
+
+	// The monitor touches only migration-stable surfaces: the VM's
+	// ServiceLib pointers and channel pairs survive the cutover in
+	// place (the pumps move between modules, the objects don't).
+	// vm.NSM and vm.NSMs are rewritten by the cutover on the event
+	// loop, so the monitor must not chase them — that would be a real
+	// data race, not a latent one in the plumbing.
+	vms := []*VM{vma, vmb, vmc}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for _, h := range []*Host{c.h1, c.h2} {
+				_ = h.Engine.Mappings()
+				if err := h.Engine.CheckFlowAffinity(); err != nil {
+					t.Errorf("flow affinity violated mid-migration: %v", err)
+					return
+				}
+			}
+			for _, vm := range vms {
+				for _, svc := range vm.Services {
+					_ = svc.Stats()
+				}
+				for _, pair := range vm.Guest.Pairs() {
+					_ = pair.Pages.FreeCount()
+					_ = pair.Pages.LiveRefs()
+				}
+			}
+			// CopyReport walks vm.NSMs — an unstable surface for the
+			// migrating tenants — so only the client VM gets it.
+			if rep := vma.CopyReport(); rep.Sub(CopyReport{}) != rep {
+				t.Error("CopyReport not self-consistent")
+				return
+			}
+		}
+	}()
+
+	// Churn, then migrate the shared NSM mid-churn, then keep churning.
+	for i := 0; i < 4; i++ {
+		c.loop.RunFor(2 * time.Millisecond)
+	}
+	var rec *Migration
+	if _, err := c.h2.MigrateNSM(vmb.NSM, moduleNSM("bbr"), MigrateOptions{}, func(m *Migration) { rec = m }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.loop.RunFor(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if rec == nil || rec.Aborted {
+		t.Fatalf("migration did not complete cleanly: %+v", rec)
+	}
+	if rec.VMs != 2 {
+		t.Fatalf("migration moved %d VMs, want the 2 sharing the module", rec.VMs)
+	}
+	if completed < 4*slots {
+		t.Fatalf("only %d churn connections completed; too little concurrency", completed)
+	}
+	for i, lc := range longs {
+		if lc.closeErr != errSentinel {
+			t.Fatalf("long-lived conn %d died across migration: %v", i, lc.closeErr)
+		}
+		if lc.echoed == 0 {
+			t.Fatalf("long-lived conn %d never echoed", i)
+		}
+	}
+	if err := c.h2.Engine.CheckFlowAffinity(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-migration the successor's sharded conn table must carry the
+	// spread; the donor is dead and empty.
+	spread := 0
+	for i := 0; i < 4; i++ {
+		if rec.To.Stack.ShardConnCount(i) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("successor connections landed on %d of 4 shards; RSS steering broke across migration", spread)
+	}
+	if rec.From.Stack.ConnCount() != 0 || !rec.From.Stack.Dead() {
+		t.Error("donor stack still live after cutover")
+	}
+}

@@ -1,0 +1,64 @@
+package pricing
+
+import "time"
+
+// Live NSM migration accounting (§5 "seamless NSM migration" meets §5
+// pricing): moving a tenant's stack is a billable provider operation —
+// the provider charges for the serialization work, and compensates the
+// tenant when the guest-visible stall exceeds the advertised bound.
+
+// MigrationEvent is the billable shape of one live NSM migration.
+type MigrationEvent struct {
+	// FromForm and ToForm name the donor and successor realizations
+	// ("vm", "container", "module", …).
+	FromForm, ToForm string
+	// VMs and Conns count the tenants and connections that moved.
+	VMs   int
+	Conns int
+	// Stall is the guest-visible cutover pause.
+	Stall time.Duration
+	// Aborted records a migration that fell back to crash semantics.
+	Aborted bool
+}
+
+// MigrationPricer prices migration events: a flat base per completed
+// migration, a per-connection serialization charge, and a rebate per
+// millisecond of guest-visible stall beyond the free allowance. An
+// aborted migration bills nothing — the tenant got crash semantics,
+// not a migration.
+type MigrationPricer struct {
+	Base    MicroUSD
+	PerConn MicroUSD
+	// FreeStall is the stall the SLA allows without compensation;
+	// StallRebatePerMs credits the tenant for each millisecond beyond
+	// it. The total never rebates below zero.
+	FreeStall        time.Duration
+	StallRebatePerMs MicroUSD
+}
+
+// Price converts one event into money.
+func (p MigrationPricer) Price(ev MigrationEvent) MicroUSD {
+	if ev.Aborted {
+		return 0
+	}
+	total := p.Base + MicroUSD(ev.Conns)*p.PerConn
+	if over := ev.Stall - p.FreeStall; over > 0 {
+		total -= MicroUSD(float64(p.StallRebatePerMs) * float64(over) / float64(time.Millisecond))
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// DefaultMigrationPricer returns representative rates: a tenth of a
+// cent per migration, a hundredth of a cent per hundred connections,
+// and rebates past one millisecond of stall.
+func DefaultMigrationPricer() MigrationPricer {
+	return MigrationPricer{
+		Base:             USD(0.001),
+		PerConn:          USD(0.000001),
+		FreeStall:        time.Millisecond,
+		StallRebatePerMs: USD(0.0005),
+	}
+}

@@ -72,6 +72,11 @@ type Config struct {
 	DelayedAckTimeout time.Duration
 	// Nagle enables RFC 896 coalescing of small segments.
 	Nagle bool
+	// ISS, when non-nil, overrides the initial send sequence number.
+	// The port recycler uses it to start a connection that reuses a
+	// TIME_WAIT port pair beyond the predecessor's final sequence, so
+	// the peer's lingering state accepts the new SYN (RFC 6191).
+	ISS *uint32
 
 	// Output transmits segments; required.
 	Output OutputFunc
@@ -236,6 +241,9 @@ type Conn struct {
 
 	persistTimer  sim.Timer
 	timeWaitTimer sim.Timer
+	// timeWaitDeadline is when the TIME_WAIT timer fires; migration
+	// snapshots carry the remaining wait instead of restarting 2·MSL.
+	timeWaitDeadline sim.Time
 
 	cc        tcpcc.Algorithm
 	ctrl      tcpcc.Control
@@ -275,9 +283,12 @@ func newConn(cfg Config) *Conn {
 	c.ctrl.MSS = cfg.MSS
 	c.cc.Init(&c.ctrl, cfg.Clock.Now().Duration())
 	c.stats.MinRTT = -1
-	if cfg.RNG != nil {
+	switch {
+	case cfg.ISS != nil:
+		c.iss = *cfg.ISS
+	case cfg.RNG != nil:
 		c.iss = uint32(cfg.RNG.Uint64())
-	} else {
+	default:
 		c.iss = uint32(cfg.Clock.Now())
 	}
 	return c
@@ -583,6 +594,16 @@ func (c *Conn) Input(h *Header, payload []byte, ceMarked bool) {
 			return // stale ack
 		}
 	case StateTimeWait:
+		// Sequence validation on port reuse (RFC 6191 flavour): a fresh
+		// SYN whose ISN lies beyond everything this incarnation saw is a
+		// genuine new connection from a recycled port pair, not a
+		// delayed duplicate — tear the wait down so the listener can
+		// serve it. A SYN at or below rcvNxt stays ignored: accepting it
+		// could splice old-incarnation segments into the new stream.
+		if h.Flags&FlagSYN != 0 && h.Flags&FlagACK == 0 && seqGT(h.Seq, c.rcvNxt) {
+			c.teardown(nil)
+			return
+		}
 		// Re-ack retransmitted FINs.
 		if h.Flags&FlagFIN != 0 {
 			c.sendAck()
@@ -812,10 +833,34 @@ func (c *Conn) enterTimeWait() {
 	if c.timeWaitTimer != nil {
 		c.timeWaitTimer.Stop()
 	}
-	c.timeWaitTimer = c.cfg.Clock.AfterFunc(2*c.cfg.MSL, func() {
+	c.armTimeWait(2 * c.cfg.MSL)
+}
+
+func (c *Conn) armTimeWait(d time.Duration) {
+	c.timeWaitDeadline = c.cfg.Clock.Now().Add(d)
+	c.timeWaitTimer = c.cfg.Clock.AfterFunc(d, func() {
 		c.teardown(nil)
 	})
 }
+
+// TimeWaitRemaining returns how long a TIME_WAIT connection will linger
+// (0 for other states). The port recycler and migration snapshots read
+// it.
+func (c *Conn) TimeWaitRemaining() time.Duration {
+	if c.state != StateTimeWait || c.closed {
+		return 0
+	}
+	if d := c.timeWaitDeadline.Sub(c.cfg.Clock.Now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// FinalSeq returns the connection's highest used send sequence number
+// (sndMax). A successor connection recycling this port pair must start
+// its ISS beyond it so the peer's lingering state cannot confuse old
+// and new segments (RFC 6191-flavoured).
+func (c *Conn) FinalSeq() uint32 { return c.sndMax }
 
 // sackBlocks builds up to MaxSACKBlocks from the out-of-order queue.
 // Per RFC 2018 the first block is the one containing the most recently

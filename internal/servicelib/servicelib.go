@@ -16,8 +16,6 @@ import (
 	"strings"
 	"time"
 
-	"netkernel/internal/proto/ipv4"
-
 	"netkernel/internal/nkchan"
 	"netkernel/internal/nqe"
 	"netkernel/internal/proto/tcp"
@@ -772,28 +770,7 @@ func (s *ServiceLib) handleBind(shard int, e *nqe.Element) {
 		s.emit(shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusInvalid})
 		return
 	}
-	cid := cs.cid
-	csShard := cs.shard
-	sock, err := s.cfg.Stack.OpenUDP(uint16(e.Arg0), func(src ipv4.Addr, srcPort uint16, data []byte) {
-		if len(data) > s.cfg.Pair.ChunkSize() {
-			return // cannot represent; drop (UDP semantics)
-		}
-		chunk, ok := s.cfg.Pair.Pages.AllocSized(len(data), csShard)
-		if !ok {
-			return // pool exhausted; drop (UDP semantics)
-		}
-		s.cfg.Pair.Pages.Write(chunk, data)
-		s.stats.rxBytesCopied.Add(uint64(len(data)))
-		s.stats.dataOut.Add(uint64(len(data)))
-		s.emit(csShard, nkchan.Receive, &nqe.Element{
-			Op: nqe.OpNewData, CID: cid,
-			DataOff: chunk.Offset, DataLen: uint32(len(data)),
-			Arg0: nqe.PackAddr(src, srcPort),
-		})
-		if c := s.conns[cid]; c != nil && c.polled {
-			s.queueReady(csShard, cid, nqe.ReadyReadable)
-		}
-	})
+	sock, err := s.cfg.Stack.OpenUDP(uint16(e.Arg0), s.udpRecv(cs.cid, cs.shard))
 	if err != nil {
 		s.emit(cs.shard, nkchan.Completion, &nqe.Element{Op: nqe.OpBind, CID: e.CID, Seq: e.Seq, Status: nqe.StatusAddrInUse})
 		return

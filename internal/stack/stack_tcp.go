@@ -33,13 +33,14 @@ func (s *Stack) Dial(remote tcp.AddrPort, opts SocketOptions) (*tcp.Conn, error)
 	if err != nil {
 		return nil, err
 	}
-	port, err := s.allocPort(remote)
+	port, iss, err := s.allocPort(remote)
 	if err != nil {
 		return nil, err
 	}
 	local := tcp.AddrPort{Addr: s.iface.IP, Port: port}
 	key := fourTuple{local.Addr, local.Port, remote.Addr, remote.Port}
 	cfg := s.connConfig(local, remote, cc, opts)
+	cfg.ISS = iss
 	conn := tcp.Dial(cfg)
 	conn.SetOwnerHook(func() { s.delConn(key) })
 	s.putConn(key, conn)
@@ -163,7 +164,16 @@ func (s *Stack) processTCP(src ipv4.Addr, seg []byte, ce bool) {
 	key := fourTuple{s.iface.IP, h.DstPort, src, h.SrcPort}
 	if conn, ok := s.getConn(key); ok {
 		conn.Input(&h, payload, ce)
-		return
+		// TIME_WAIT assassination by a valid new SYN (the peer recycled
+		// its port): Input tore the lingering connection down and freed
+		// the table slot. Fall through to the listener so the attempt
+		// is served now rather than at the peer's SYN retransmission.
+		if _, alive := s.getConn(key); alive {
+			return
+		}
+		if h.Flags&tcp.FlagSYN == 0 || h.Flags&tcp.FlagACK != 0 {
+			return
+		}
 	}
 
 	// No connection: a SYN may match a listener.
@@ -230,9 +240,20 @@ func (s *Stack) sendRST(src ipv4.Addr, h *tcp.Header, payloadLen int) {
 	_ = s.sendIPv4(src, ipv4.ProtoTCP, 0, seg)
 }
 
+// recycleISSMargin is how far beyond a TIME_WAIT predecessor's final
+// sequence a recycled port pair starts its ISS: comfortably above
+// anything the peer's lingering state has seen, with headroom for the
+// predecessor's stray retransmissions still in flight.
+const recycleISSMargin = 1 << 16
+
 // allocPort picks an ephemeral port not colliding with existing
-// connections to the same remote, listeners, or UDP sockets.
-func (s *Stack) allocPort(remote tcp.AddrPort) (uint16, error) {
+// connections to the same remote, listeners, or UDP sockets. A port
+// pair held only by a TIME_WAIT connection is recycled (RFC 6191
+// flavour): the lingering connection is discarded and the successor's
+// ISS is pinned above its final sequence number, so the peer's own
+// TIME_WAIT state validates the new SYN as genuinely new instead of a
+// delayed duplicate. The returned ISS override is nil for fresh ports.
+func (s *Stack) allocPort(remote tcp.AddrPort) (uint16, *uint32, error) {
 	for i := 0; i < 16384; i++ {
 		p := s.nextPort
 		s.nextPort++
@@ -249,10 +270,15 @@ func (s *Stack) allocPort(remote tcp.AddrPort) (uint16, error) {
 			continue
 		}
 		key := fourTuple{s.iface.IP, p, remote.Addr, remote.Port}
-		if _, used := s.getConn(key); used {
-			continue
+		if c, used := s.getConn(key); used {
+			if c.State() != tcp.StateTimeWait {
+				continue
+			}
+			iss := c.FinalSeq() + recycleISSMargin
+			c.Kill(nil) // owner hook clears the table slot
+			return p, &iss, nil
 		}
-		return p, nil
+		return p, nil, nil
 	}
-	return 0, fmt.Errorf("stack %s: ephemeral ports exhausted", s.cfg.Name)
+	return 0, nil, fmt.Errorf("stack %s: ephemeral ports exhausted", s.cfg.Name)
 }

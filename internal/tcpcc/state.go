@@ -1,0 +1,215 @@
+package tcpcc
+
+import "time"
+
+// StateVersion identifies the State layout. A loader must refuse a
+// snapshot whose version it does not understand rather than guess at
+// field meanings (DESIGN.md §12).
+const StateVersion = 1
+
+// State is an algorithm-agnostic bag of congestion-control internals,
+// used by live NSM migration to carry an algorithm's learned model
+// (CUBIC's epoch, BBR's bandwidth filter, …) across a stack handoff.
+// Scalars live in two typed maps keyed by short field names; ordered
+// series (BBR's windowed-max samples) use the indexed Series slice.
+// The representation is deliberately schemaless so that an old loader
+// can at least identify — and reject — a newer algorithm's snapshot by
+// Name/Version instead of misparsing it.
+type State struct {
+	Version int
+	Name    string
+	F64     map[string]float64
+	I64     map[string]int64
+	Series  []SeriesPoint
+}
+
+// SeriesPoint is one (round, value) sample of an ordered series.
+type SeriesPoint struct {
+	Round uint64
+	Value float64
+}
+
+func newState(name string) State {
+	return State{
+		Version: StateVersion,
+		Name:    name,
+		F64:     map[string]float64{},
+		I64:     map[string]int64{},
+	}
+}
+
+// Snapshotter is implemented by algorithms whose internals survive a
+// live migration. Algorithms that do not implement it (Reno is
+// stateless) migrate by fresh Init, which is also the defined
+// behaviour for a cross-algorithm hot-swap.
+type Snapshotter interface {
+	// SaveState exports the algorithm's internal model.
+	SaveState() State
+	// LoadState replaces the internal model with a previously saved
+	// one. It reports false (leaving the fresh-Init state intact) when
+	// the snapshot's Name or Version does not match.
+	LoadState(State) bool
+}
+
+// Save exports the state of any registered algorithm: the internals
+// for Snapshotters, or an empty named bag for stateless ones.
+func Save(a Algorithm) State {
+	if s, ok := a.(Snapshotter); ok {
+		return s.SaveState()
+	}
+	return newState(a.Name())
+}
+
+// Load imports st into a when the algorithm name and version match,
+// reporting whether the internals were restored. A false return means
+// the algorithm keeps its fresh-Init state — the hot-swap semantics.
+func Load(a Algorithm, st State) bool {
+	if st.Name != a.Name() || st.Version != StateVersion {
+		return false
+	}
+	if s, ok := a.(Snapshotter); ok {
+		return s.LoadState(st)
+	}
+	// Stateless algorithm: a matching name is a complete restore.
+	return true
+}
+
+func (st State) compatible(name string) bool {
+	return st.Name == name && st.Version == StateVersion
+}
+
+// --- Cubic ---
+
+// SaveState implements Snapshotter.
+func (cu *Cubic) SaveState() State {
+	st := newState(cu.Name())
+	st.F64["wmax"] = cu.wMax
+	st.F64["k"] = cu.k
+	st.F64["west"] = cu.wEst
+	st.I64["epoch_start"] = int64(cu.epochStart)
+	return st
+}
+
+// LoadState implements Snapshotter.
+func (cu *Cubic) LoadState(st State) bool {
+	if !st.compatible(cu.Name()) {
+		return false
+	}
+	cu.wMax = st.F64["wmax"]
+	cu.k = st.F64["k"]
+	cu.wEst = st.F64["west"]
+	cu.epochStart = time.Duration(st.I64["epoch_start"])
+	return true
+}
+
+// --- BBR ---
+
+// SaveState implements Snapshotter.
+func (b *BBR) SaveState() State {
+	st := newState(b.Name())
+	st.I64["state"] = int64(b.state)
+	st.I64["min_rtt"] = int64(b.minRTT)
+	st.I64["min_rtt_stamp"] = int64(b.minRTTStamp)
+	st.I64["round_count"] = int64(b.roundCount)
+	st.I64["next_round_delivered"] = int64(b.nextRoundDelivered)
+	st.I64["round_start"] = b2i(b.roundStart)
+	st.F64["full_bw"] = b.fullBw
+	st.I64["full_bw_count"] = int64(b.fullBwCount)
+	st.I64["filled_pipe"] = b2i(b.filledPipe)
+	st.F64["pacing_gain"] = b.pacingGain
+	st.F64["cwnd_gain"] = b.cwndGain
+	st.I64["cycle_index"] = int64(b.cycleIndex)
+	st.I64["cycle_stamp"] = int64(b.cycleStamp)
+	st.I64["probe_rtt_done"] = int64(b.probeRTTDone)
+	st.I64["prior_cwnd"] = int64(b.priorCwnd)
+	st.I64["probe_rtt_round"] = int64(b.probeRTTRound)
+	for _, s := range b.btlBw.samples {
+		st.Series = append(st.Series, SeriesPoint{Round: s.round, Value: s.bw})
+	}
+	return st
+}
+
+// LoadState implements Snapshotter.
+func (b *BBR) LoadState(st State) bool {
+	if !st.compatible(b.Name()) {
+		return false
+	}
+	b.state = bbrState(st.I64["state"])
+	b.minRTT = time.Duration(st.I64["min_rtt"])
+	b.minRTTStamp = time.Duration(st.I64["min_rtt_stamp"])
+	b.roundCount = uint64(st.I64["round_count"])
+	b.nextRoundDelivered = uint64(st.I64["next_round_delivered"])
+	b.roundStart = st.I64["round_start"] != 0
+	b.fullBw = st.F64["full_bw"]
+	b.fullBwCount = int(st.I64["full_bw_count"])
+	b.filledPipe = st.I64["filled_pipe"] != 0
+	b.pacingGain = st.F64["pacing_gain"]
+	b.cwndGain = st.F64["cwnd_gain"]
+	b.cycleIndex = int(st.I64["cycle_index"])
+	b.cycleStamp = time.Duration(st.I64["cycle_stamp"])
+	b.probeRTTDone = time.Duration(st.I64["probe_rtt_done"])
+	b.priorCwnd = int(st.I64["prior_cwnd"])
+	b.probeRTTRound = uint64(st.I64["probe_rtt_round"])
+	b.btlBw.samples = b.btlBw.samples[:0]
+	for _, p := range st.Series {
+		b.btlBw.samples = append(b.btlBw.samples, bwSample{round: p.Round, bw: p.Value})
+	}
+	return true
+}
+
+// --- CTCP ---
+
+// SaveState implements Snapshotter.
+func (ct *CTCP) SaveState() State {
+	st := newState(ct.Name())
+	st.F64["dwnd"] = ct.dwnd
+	st.I64["base_rtt"] = int64(ct.baseRTT)
+	st.I64["loss_wnd"] = int64(ct.lossWnd)
+	st.I64["ss_active"] = b2i(ct.ssActive)
+	return st
+}
+
+// LoadState implements Snapshotter.
+func (ct *CTCP) LoadState(st State) bool {
+	if !st.compatible(ct.Name()) {
+		return false
+	}
+	ct.dwnd = st.F64["dwnd"]
+	ct.baseRTT = time.Duration(st.I64["base_rtt"])
+	ct.lossWnd = int(st.I64["loss_wnd"])
+	ct.ssActive = st.I64["ss_active"] != 0
+	return true
+}
+
+// --- DCTCP ---
+
+// SaveState implements Snapshotter.
+func (d *DCTCP) SaveState() State {
+	st := newState(d.Name())
+	st.F64["alpha"] = d.alpha
+	st.I64["window_start"] = int64(d.windowStart)
+	st.I64["acked_bytes"] = int64(d.ackedBytes)
+	st.I64["marked_bytes"] = int64(d.markedBytes)
+	st.I64["ever_cong"] = b2i(d.everCongEncd)
+	return st
+}
+
+// LoadState implements Snapshotter.
+func (d *DCTCP) LoadState(st State) bool {
+	if !st.compatible(d.Name()) {
+		return false
+	}
+	d.alpha = st.F64["alpha"]
+	d.windowStart = uint64(st.I64["window_start"])
+	d.ackedBytes = int(st.I64["acked_bytes"])
+	d.markedBytes = int(st.I64["marked_bytes"])
+	d.everCongEncd = st.I64["ever_cong"] != 0
+	return true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
